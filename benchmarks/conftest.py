@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the reproduction benchmark harness.
+
+Every bench regenerates one table or figure from the paper's evaluation
+section at simulator scale, writes the reproduced rows/series to
+``benchmarks/results/<name>.txt``, and asserts the *shape* claims (who
+wins, rough factors, orderings) that EXPERIMENTS.md records.
+
+All benches run under ``pytest benchmarks/ --benchmark-only``; each wraps
+its experiment in the ``benchmark`` fixture (single round) so the harness
+also reports wall-clock cost per experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(name: str, lines: Iterable[str]) -> None:
+    """Persist a reproduced table/series for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text("\n".join(str(line) for line in lines) + "\n")
+
+
+def run_once(benchmark, fn: Callable):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def tail_mean(values, k: int = 10) -> float:
+    """Mean of the last ``k`` entries, NaN-tolerant."""
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0:
+        return float("nan")
+    return float(np.nanmean(arr[-k:]))

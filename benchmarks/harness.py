@@ -1,0 +1,214 @@
+"""Shared experiment builders for the benchmark harness.
+
+Centralises the scaled-down experimental setup (paper Sec. VI-A, Table I)
+so every bench draws from the same datasets, supernet geometry, and
+hyperparameter ratios.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.controller import ArchitecturePolicy
+from repro.data import (
+    ArrayDataset,
+    dirichlet_partition,
+    equal_partition,
+    iid_partition,
+    synth_cifar10,
+    synth_cifar100,
+    synth_svhn,
+)
+from repro.federated import (
+    DistributionDelay,
+    FederatedSearchServer,
+    HardSync,
+    Participant,
+    SearchServerConfig,
+)
+from repro.network import mixed_traces
+from repro.search_space import Supernet, SupernetConfig
+
+#: The simulator-scale supernet used across benches.
+BENCH_NET = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+#: Paper staleness mixes (Sec. VI-C): severe ("70% staleness") and slight
+#: ("10% staleness").
+SEVERE_MIX = (0.3, 0.4, 0.2, 0.1)
+SLIGHT_MIX = (0.9, 0.09, 0.009, 0.001)
+
+DATASETS = {
+    "cifar10": synth_cifar10,
+    "svhn": synth_svhn,
+    "cifar100": synth_cifar100,
+}
+
+
+def bench_dataset(
+    name: str = "cifar10",
+    train_per_class: int = 20,
+    test_per_class: int = 6,
+    image_size: int = 8,
+    seed: int = 2,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    return DATASETS[name](
+        seed=seed,
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        image_size=image_size,
+    )
+
+
+def bench_shards(
+    train: ArrayDataset,
+    num_participants: int = 4,
+    non_iid: bool = False,
+    partition: str = None,
+    seed: int = 0,
+) -> List[ArrayDataset]:
+    rng = np.random.default_rng(seed)
+    if partition == "equal":
+        return equal_partition(train, num_participants, rng=rng)
+    if non_iid:
+        return dirichlet_partition(train, num_participants, alpha=0.5, rng=rng)
+    return iid_partition(train, num_participants, rng=rng)
+
+
+def build_server(
+    shards: Sequence[ArrayDataset],
+    net_config: SupernetConfig = BENCH_NET,
+    theta_lr: float = 0.05,
+    staleness_mix: Optional[Sequence[float]] = None,
+    staleness_policy: str = "compensate",
+    staleness_threshold: int = 2,
+    compensation_lambda: float = 1.0,
+    transmission_strategy: str = "adaptive",
+    mobility_modes: Optional[Sequence[str]] = None,
+    batch_size: int = 16,
+    update_alpha: bool = True,
+    update_theta: bool = True,
+    device=None,
+    seed: int = 0,
+    supernet_state=None,
+) -> FederatedSearchServer:
+    """Assemble a search server with deterministic per-component seeds."""
+    from repro.federated.participant import GTX_1080TI
+
+    device = device or GTX_1080TI
+    supernet = Supernet(net_config, rng=np.random.default_rng(seed + 1))
+    if supernet_state is not None:
+        supernet.load_state_dict(supernet_state)
+    policy = ArchitecturePolicy(
+        net_config.num_edges, rng=np.random.default_rng(seed + 7)
+    )
+    traces = None
+    if mobility_modes:
+        traces = mixed_traces(
+            list(mobility_modes), len(shards), rng=np.random.default_rng(seed + 11)
+        )
+    participants = [
+        Participant(
+            k,
+            shard,
+            batch_size=min(batch_size, len(shard)),
+            device=device,
+            trace=traces[k] if traces else None,
+            rng=np.random.default_rng(seed + 100 + k),
+        )
+        for k, shard in enumerate(shards)
+    ]
+    if staleness_mix is None:
+        delay = HardSync()
+    else:
+        delay = DistributionDelay(
+            list(staleness_mix),
+            staleness_threshold=staleness_threshold,
+            rng=np.random.default_rng(seed + 13),
+        )
+    config = SearchServerConfig(
+        theta_lr=theta_lr,
+        staleness_policy=staleness_policy,
+        staleness_threshold=staleness_threshold,
+        compensation_lambda=compensation_lambda,
+        transmission_strategy=transmission_strategy,
+        update_alpha=update_alpha,
+        update_theta=update_theta,
+    )
+    return FederatedSearchServer(
+        supernet,
+        policy,
+        participants,
+        config=config,
+        delay_model=delay,
+        rng=np.random.default_rng(seed + 29),
+    )
+
+
+def search_rewards(server: FederatedSearchServer, rounds: int) -> np.ndarray:
+    """Run ``rounds`` and return the reward (train-accuracy) series."""
+    results = server.run(rounds)
+    return np.array([r.mean_reward for r in results])
+
+
+def retrain_and_evaluate(
+    genotype,
+    train: ArrayDataset,
+    test: ArrayDataset,
+    mode: str = "centralized",
+    shards: Optional[Sequence[ArrayDataset]] = None,
+    epochs: int = 8,
+    fl_rounds: int = 25,
+    seed: int = 5,
+    dataset: str = "cifar10",
+) -> Tuple[float, int]:
+    """P3+P4 at bench scale: returns (error_percent, num_parameters)."""
+    from repro.core import ExperimentConfig
+    from repro.core.phases import evaluate, retrain_centralized, retrain_federated
+
+    config = ExperimentConfig.small(
+        dataset=dataset,
+        image_size=train.images.shape[-1],
+        retrain_epochs=epochs,
+        fl_retrain_rounds=fl_rounds,
+        init_channels=BENCH_NET.init_channels,
+        num_cells=BENCH_NET.num_cells,
+        steps=BENCH_NET.steps,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    if mode == "centralized":
+        model, _ = retrain_centralized(genotype, config, train, test, rng=rng)
+    else:
+        if shards is None:
+            raise ValueError("federated retraining needs shards")
+        model, _ = retrain_federated(genotype, config, shards, test, rng=rng)
+    accuracy = evaluate(model, test)
+    return 100.0 * (1.0 - accuracy), model.num_parameters()
+
+
+def run_our_search(
+    shards,
+    rounds: int = 60,
+    warmup: int = 15,
+    staleness_mix=None,
+    staleness_policy: str = "compensate",
+    seed: int = 0,
+    theta_lr: float = 0.05,
+    net_config: SupernetConfig = BENCH_NET,
+):
+    """Warm-up + search with our method; returns (genotype, server)."""
+    server = build_server(
+        shards,
+        net_config=net_config,
+        theta_lr=theta_lr,
+        staleness_mix=staleness_mix,
+        staleness_policy=staleness_policy,
+        update_alpha=False,
+        seed=seed,
+    )
+    server.run(warmup)
+    server.config.update_alpha = True
+    server.run(rounds)
+    return server.derive(), server

@@ -1,0 +1,60 @@
+"""Ablation — robustness to participant connection loss.
+
+DESIGN.md extension bench.  The paper's Sec. V motivation: "the search
+process would be blocked forever if a participant loses connection with
+the server" under hard synchronisation.  Our availability model makes
+each participant reachable with probability p per round; the server
+simply proceeds with whoever answers.
+
+Shape claims: the search completes and still converges upward at 80% and
+60% availability, the offline fraction matches 1 − p, and accuracy
+degrades gracefully (bounded gap versus full availability).
+"""
+
+import numpy as np
+from conftest import run_once, save_result, tail_mean
+
+from harness import bench_dataset, bench_shards, build_server
+
+AVAILABILITIES = (1.0, 0.8, 0.6)
+ROUNDS = 70
+
+
+def test_ablation_availability(benchmark):
+    def reproduce():
+        train, _ = bench_dataset(train_per_class=24)
+        outcomes = {}
+        for availability in AVAILABILITIES:
+            shards = bench_shards(train, 4, seed=0)
+            server = build_server(shards, theta_lr=0.1, seed=4)
+            for participant in server.participants:
+                participant.availability = availability
+            results = server.run(ROUNDS)
+            rewards = [r.mean_reward for r in results]
+            outcomes[availability] = {
+                "final": tail_mean(rewards, 15),
+                "start": float(np.nanmean(rewards[:10])),
+                "offline_fraction": float(
+                    np.mean([r.num_offline for r in results]) / 4
+                ),
+            }
+        return outcomes
+
+    outcomes = run_once(benchmark, reproduce)
+    lines = [
+        "Ablation: participant availability (connection loss) robustness",
+        f"{'availability':>13} {'final_acc':>10} {'offline_frac':>13}",
+    ] + [
+        f"{a:13.1f} {o['final']:10.4f} {o['offline_fraction']:13.3f}"
+        for a, o in outcomes.items()
+    ]
+    save_result("ablation_availability", lines)
+
+    for availability, o in outcomes.items():
+        # The search never stalls and always improves.
+        assert o["final"] > o["start"], f"no progress at availability {availability}"
+        # Observed dropout rate matches the model.
+        assert abs(o["offline_fraction"] - (1 - availability)) < 0.15
+    # Graceful degradation: losing 40% of participants costs a bounded
+    # amount of final search accuracy.
+    assert outcomes[0.6]["final"] >= outcomes[1.0]["final"] - 0.15

@@ -1,0 +1,102 @@
+"""Ablation — delay-compensation strength λ (Eq. 13).
+
+DESIGN.md design-choice bench.  Using real sub-model gradients, we
+construct a controlled staleness scenario: train a model for τ extra
+steps to obtain drifted weights ``w_{t+τ}``, then compare
+
+* the stale gradient ``h(w_t)`` (λ = 0, the "use" policy), with
+* compensated gradients ``h(w_t) + λ h² ⊙ (w_{t+τ} − w_t)``,
+
+against the true fresh gradient ``h(w_{t+τ})`` on the same batch.
+
+Shape claim: moderate λ reduces the approximation error relative to
+λ = 0, the DC-ASGD motivation for the whole Sec. V mechanism.
+"""
+
+import numpy as np
+from conftest import run_once, save_result
+
+from harness import BENCH_NET, bench_dataset
+from repro.federated import compensate_weight_gradients
+
+LAMBDAS = (0.0, 0.5, 1.0, 2.0, 8.0)
+DRIFT_STEPS = 5
+
+
+def _gradients(model, x, y):
+    import repro.nn as nn
+
+    model.zero_grad()
+    loss = nn.functional.cross_entropy(model(x), y)
+    loss.backward()
+    return {
+        name: p.grad.copy()
+        for name, p in model.named_parameters()
+        if p.grad is not None
+    }
+
+
+def test_ablation_compensation_lambda(benchmark):
+    def reproduce():
+        import repro.nn as nn
+        from repro.search_space import ArchitectureMask, Supernet
+
+        rng = np.random.default_rng(0)
+        train, _ = bench_dataset(train_per_class=24)
+        supernet = Supernet(BENCH_NET, rng=rng)
+        e = BENCH_NET.num_edges
+        mask = ArchitectureMask.from_arrays(
+            np.full(e, 4), np.full(e, 4)  # sep_conv everywhere: many params
+        )
+        model = supernet.extract_submodel(mask)
+        x = train.images[:16]
+        y = train.labels[:16]
+
+        # Warm the model a little so gradients are informative.
+        optimizer = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        for _ in range(5):
+            model.zero_grad()
+            loss = nn.functional.cross_entropy(model(x), y)
+            loss.backward()
+            optimizer.step()
+
+        stale_weights = {name: p.data.copy() for name, p in model.named_parameters()}
+        stale_grads = _gradients(model, x, y)
+
+        # Drift: τ further training steps emulate other participants
+        # moving the global model while this one computes.
+        for _ in range(DRIFT_STEPS):
+            model.zero_grad()
+            loss = nn.functional.cross_entropy(model(x), y)
+            loss.backward()
+            optimizer.step()
+        fresh_weights = {name: p.data.copy() for name, p in model.named_parameters()}
+        fresh_grads = _gradients(model, x, y)
+
+        def total_error(grads):
+            return float(
+                np.sqrt(
+                    sum(((grads[n] - fresh_grads[n]) ** 2).sum() for n in grads)
+                )
+            )
+
+        errors = {}
+        for lam in LAMBDAS:
+            compensated = compensate_weight_gradients(
+                stale_grads, fresh_weights, stale_weights, lam
+            )
+            errors[lam] = total_error(compensated)
+        return errors
+
+    errors = run_once(benchmark, reproduce)
+    lines = [
+        f"Ablation: compensation strength (gradient error vs fresh, drift={DRIFT_STEPS} steps)",
+        f"{'lambda':>7} {'||comp - fresh||':>17}",
+    ] + [f"{lam:7.1f} {err:17.6f}" for lam, err in errors.items()]
+    save_result("ablation_compensation_lambda", lines)
+
+    baseline_error = errors[0.0]
+    best_lam = min(errors, key=errors.get)
+    # Some positive λ beats using the stale gradient raw.
+    assert best_lam > 0.0
+    assert errors[best_lam] < baseline_error

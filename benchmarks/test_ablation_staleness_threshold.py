@@ -1,0 +1,68 @@
+"""Ablation — staleness threshold Δ (Alg. 1 lines 22-23, 34-35).
+
+DESIGN.md design-choice bench.  Under a deep staleness mix where updates
+can be up to 3 rounds late, sweeps the server's staleness threshold:
+Δ = 0 discards every stale update (throw-everything), larger Δ repairs
+and uses more of them, at the cost of a larger memory pool.
+
+Shape claims: accepting repaired stale updates (Δ ≥ 2) does not hurt the
+final search accuracy relative to discarding everything (Δ = 0), and the
+fraction of used updates grows monotonically with Δ.
+"""
+
+import numpy as np
+from conftest import run_once, save_result, tail_mean
+
+from harness import bench_dataset, bench_shards, build_server
+
+DEEP_MIX = (0.3, 0.3, 0.2, 0.15, 0.05)  # up to 3 rounds late + overflow
+THRESHOLDS = (0, 1, 2, 3)
+ROUNDS = 70
+SEEDS = 2
+
+
+def test_ablation_staleness_threshold(benchmark):
+    def reproduce():
+        train, _ = bench_dataset(train_per_class=24)
+        outcomes = {}
+        for delta in THRESHOLDS:
+            finals, used_fractions = [], []
+            for seed in range(SEEDS):
+                shards = bench_shards(train, 4, seed=seed)
+                server = build_server(
+                    shards,
+                    theta_lr=0.1,
+                    staleness_mix=DEEP_MIX,
+                    staleness_threshold=delta,
+                    compensation_lambda=1.0,
+                    seed=seed + 60,
+                )
+                results = server.run(ROUNDS)
+                finals.append(
+                    tail_mean([r.mean_reward for r in results], 15)
+                )
+                used = sum(r.num_fresh + r.num_stale_used for r in results)
+                total = used + sum(r.num_dropped for r in results)
+                used_fractions.append(used / max(total, 1))
+            outcomes[delta] = (
+                float(np.mean(finals)),
+                float(np.mean(used_fractions)),
+            )
+        return outcomes
+
+    outcomes = run_once(benchmark, reproduce)
+    lines = [
+        f"Ablation: staleness threshold under deep mix {list(DEEP_MIX)} "
+        f"({SEEDS}-seed mean)",
+        f"{'delta':>6} {'final_accuracy':>15} {'used_fraction':>14}",
+    ] + [
+        f"{d:6d} {acc:15.4f} {frac:14.3f}" for d, (acc, frac) in outcomes.items()
+    ]
+    save_result("ablation_staleness_threshold", lines)
+
+    fractions = [outcomes[d][1] for d in THRESHOLDS]
+    assert all(a <= b + 1e-9 for a, b in zip(fractions, fractions[1:])), (
+        "used fraction must grow with the threshold"
+    )
+    # Repaired stale data is not worse than throwing everything away.
+    assert outcomes[2][0] >= outcomes[0][0] - 0.03

@@ -1,0 +1,70 @@
+"""Ablation — hard vs soft synchronisation round throughput (Sec. V).
+
+DESIGN.md design-choice bench.  With heterogeneous participants (mixed
+mobility traces, one slow "train" straggler), compares latency-driven
+synchronisation at sync_fraction = 1.0 (hard: wait for everyone) against
+0.7 (soft: close the round at 70% arrivals, repair stragglers later).
+
+Shape claims: soft synchronisation yields strictly shorter rounds (the
+whole motivation for Sec. V), total simulated search time drops
+accordingly, and the final search accuracy stays comparable thanks to
+delay compensation.
+"""
+
+import numpy as np
+from conftest import run_once, save_result, tail_mean
+
+from harness import bench_dataset, bench_shards, build_server
+from repro.federated import LatencyDrivenDelay
+from repro.network import generate_trace
+
+ROUNDS = 60
+
+
+def test_ablation_sync_modes(benchmark):
+    def reproduce():
+        train, _ = bench_dataset(train_per_class=24)
+        outcomes = {}
+        for label, fraction in (("hard (1.0)", 1.0), ("soft (0.7)", 0.7)):
+            shards = bench_shards(train, 4, seed=0)
+            server = build_server(shards, theta_lr=0.1, seed=3)
+            # Heterogeneous links: 3 pedestrians + 1 train straggler.
+            traces = [
+                generate_trace("foot", 600, np.random.default_rng(10)),
+                generate_trace("foot", 600, np.random.default_rng(11)),
+                generate_trace("bicycle", 600, np.random.default_rng(12)),
+                generate_trace("train", 600, np.random.default_rng(13)),
+            ]
+            for participant, trace in zip(server.participants, traces):
+                participant.trace = trace
+            server.delay_model = LatencyDrivenDelay(traces, sync_fraction=fraction)
+            results = server.run(ROUNDS)
+            outcomes[label] = {
+                "round_s": float(np.mean([r.round_duration_s for r in results])),
+                "total_s": server.clock_s,
+                "final_accuracy": tail_mean(
+                    [r.mean_reward for r in results], 15
+                ),
+                "stale_used": sum(r.num_stale_used for r in results),
+            }
+        return outcomes
+
+    outcomes = run_once(benchmark, reproduce)
+    lines = [
+        "Ablation: hard vs soft synchronisation (latency-driven, 1 straggler)",
+        f"{'mode':<12} {'mean round(s)':>14} {'total(s)':>10} "
+        f"{'final_acc':>10} {'stale_used':>11}",
+    ]
+    for label, row in outcomes.items():
+        lines.append(
+            f"{label:<12} {row['round_s']:14.4f} {row['total_s']:10.3f} "
+            f"{row['final_accuracy']:10.4f} {row['stale_used']:11d}"
+        )
+    save_result("ablation_sync_modes", lines)
+
+    hard, soft = outcomes["hard (1.0)"], outcomes["soft (0.7)"]
+    # Soft rounds close strictly earlier.
+    assert soft["round_s"] < hard["round_s"]
+    assert soft["total_s"] < hard["total_s"]
+    # With delay compensation, accuracy stays comparable.
+    assert soft["final_accuracy"] >= hard["final_accuracy"] - 0.08

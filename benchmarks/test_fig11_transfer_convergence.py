@@ -1,0 +1,96 @@
+"""Fig. 11 — transferring searched models to non-i.i.d. CIFAR100.
+
+The architecture searched on CIFAR10 is retrained federatedly on the
+(harder, more classes) CIFAR100 stand-in, against the fixed deep
+residual model.
+
+Shape claims (paper Fig. 11): the fixed model reaches a higher *training*
+accuracy but a lower *validation* accuracy — it "merely overfits the
+non-i.i.d. dataset" — i.e. the fixed model's train-validation gap
+exceeds the searched model's, and the searched model's validation
+accuracy is at least as high.
+"""
+
+import numpy as np
+from conftest import run_once, save_result, tail_mean
+
+from harness import BENCH_NET, bench_dataset, bench_shards, run_our_search
+
+
+def test_fig11_transfer_to_cifar100(benchmark):
+    def reproduce():
+        import dataclasses
+
+        from repro.baselines import DeepResidualNet
+        from repro.core import ExperimentConfig
+        from repro.data import standard_augmentation
+        from repro.federated import FedAvgConfig, FedAvgTrainer
+        from repro.search_space import build_derived_network
+
+        # Search on CIFAR10.
+        c10_train, _ = bench_dataset("cifar10", train_per_class=24)
+        c10_shards = bench_shards(c10_train, 4, non_iid=True, seed=0)
+        genotype, _ = run_our_search(c10_shards, rounds=60, seed=0)
+
+        # Transfer: retrain on non-iid CIFAR100 (20 classes at our scale).
+        train, test = bench_dataset("cifar100", train_per_class=16)
+        shards = bench_shards(train, 4, non_iid=True, seed=2)
+        config = ExperimentConfig.small(
+            dataset="cifar100",
+            image_size=8,
+            init_channels=BENCH_NET.init_channels,
+            num_cells=BENCH_NET.num_cells,
+            steps=BENCH_NET.steps,
+        )
+        net_config = config.supernet_config()
+        models = {
+            "Ours (transferred)": build_derived_network(
+                genotype, net_config, rng=np.random.default_rng(1)
+            ),
+            "ResNet (fixed)": DeepResidualNet(
+                num_classes=20, base_channels=8, blocks_per_stage=2,
+                rng=np.random.default_rng(2),
+            ),
+        }
+        curves = {}
+        for label, model in models.items():
+            trainer = FedAvgTrainer(
+                model,
+                shards,
+                FedAvgConfig(
+                    lr=config.fl_lr,
+                    momentum=config.fl_momentum,
+                    weight_decay=config.fl_weight_decay,
+                    batch_size=16,
+                ),
+                transform=standard_augmentation(8),
+                test_dataset=test,
+                rng=np.random.default_rng(3),
+            )
+            trainer.run(35)
+            curves[label] = (
+                np.array(trainer.recorder.get("train_accuracy")),
+                np.array(trainer.recorder.get("val_accuracy")),
+            )
+        return curves
+
+    curves = run_once(benchmark, reproduce)
+    lines = [
+        "Fig. 11: transferring models to non-i.i.d. CIFAR100 stand-in",
+        "round  " + "  ".join(f"{l}(train/val)" for l in curves),
+    ]
+    rounds = len(next(iter(curves.values()))[0])
+    for i in range(rounds):
+        cells = [f"{curves[l][0][i]:.3f}/{curves[l][1][i]:.3f}" for l in curves]
+        lines.append(f"{i:5d}  " + "  ".join(f"{c:>13}" for c in cells))
+    save_result("fig11_transfer_convergence", lines)
+
+    ours_train = tail_mean(curves["Ours (transferred)"][0], 10)
+    ours_val = tail_mean(curves["Ours (transferred)"][1], 10)
+    fixed_train = tail_mean(curves["ResNet (fixed)"][0], 10)
+    fixed_val = tail_mean(curves["ResNet (fixed)"][1], 10)
+
+    # The transferred searched model generalises at least as well.
+    assert ours_val >= fixed_val - 0.03
+    # The fixed model overfits harder: larger train-val gap.
+    assert (fixed_train - fixed_val) >= (ours_train - ours_val) - 0.05

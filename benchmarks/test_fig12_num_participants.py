@@ -1,0 +1,67 @@
+"""Fig. 12 — searching-phase performance vs number of participants.
+
+The CIFAR10 stand-in is divided equally among K participants (the paper
+uses 10/20/50; we scale to 3/6/12 with the same 1:2:~5 ratios) and the
+search curve is recorded for each K.
+
+Shape claims (paper Sec. VI-D): more participants speed up convergence
+and raise the final searching-phase accuracy, and the fluctuation
+(variance across participants' per-round accuracies) shrinks with K.
+"""
+
+import numpy as np
+from conftest import run_once, save_result, tail_mean
+
+from harness import bench_dataset, bench_shards, build_server
+
+KS = (3, 6, 12)
+ROUNDS = 70
+
+
+def test_fig12_participants_scaling(benchmark):
+    def reproduce():
+        train, _ = bench_dataset(train_per_class=36)
+        curves = {}
+        stds = {}
+        for k in KS:
+            shards = bench_shards(train, k, partition="equal", seed=0)
+            server = build_server(shards, theta_lr=0.1, update_alpha=False, seed=0)
+            server.run(10)
+            server.config.update_alpha = True
+            results = server.run(ROUNDS)
+            curves[k] = np.array([r.mean_reward for r in results])
+            stds[k] = np.array([r.reward_std for r in results])
+        return curves, stds
+
+    curves, stds = run_once(benchmark, reproduce)
+    lines = [
+        "Fig. 12: searching-phase accuracy vs number of participants "
+        f"(equal split, K in {KS}; std = error bars)",
+        "round  " + "  ".join(f"K={k:>4}(mean/std)" for k in KS),
+    ]
+    for i in range(ROUNDS):
+        lines.append(
+            f"{i:5d}  "
+            + "  ".join(f"{curves[k][i]:6.3f}/{stds[k][i]:5.3f}" for k in KS)
+        )
+    save_result("fig12_num_participants", lines)
+
+    # Error bars shrink with K: the standard error of the round-mean
+    # accuracy over participants decreases (paper: "the fluctuation in
+    # participants' model accuracy decreases when there are more
+    # participants").
+    standard_errors = {
+        k: float(np.nanmean(stds[k])) / np.sqrt(k) for k in KS
+    }
+    assert standard_errors[12] < standard_errors[3]
+
+    finals = {k: tail_mean(curves[k], 15) for k in KS}
+    lines_summary = [f"K={k}: final={v:.4f}" for k, v in finals.items()]
+    save_result("table6_participants_summary", lines_summary)
+
+    # More participants never hurts the final searching accuracy much
+    # (paper: it improves it).
+    assert finals[12] >= finals[3] - 0.05
+    # Convergence speeds up with K: mean accuracy over the first half.
+    early = {k: float(np.mean(curves[k][: ROUNDS // 2])) for k in KS}
+    assert early[12] >= early[3] - 0.03

@@ -1,0 +1,82 @@
+"""Fig. 8 — searching-phase performance on stale data (CIFAR10).
+
+From a shared warmed-up supernet, runs the search under the paper's
+severe staleness distribution (30% fresh / 40% one round late / 20% two
+rounds late / 10% beyond threshold) with four straggler treatments:
+hard synchronisation (no staleness), throw, use, and our
+delay-compensated scheme.  Averaged over seeds.
+
+Shape claims (paper Fig. 8): throw is clearly worst; use is better but
+inferior to delay compensation; delay compensation approaches the
+staleness-free curve.
+"""
+
+import numpy as np
+from conftest import run_once, save_result, tail_mean
+
+from harness import SEVERE_MIX, bench_dataset, bench_shards, build_server
+
+SEEDS = 3
+ROUNDS = 80
+
+
+def _run_variant(staleness_policy, use_mix, shards, warm_state, seed):
+    server = build_server(
+        shards,
+        theta_lr=0.1,
+        staleness_mix=SEVERE_MIX if use_mix else None,
+        staleness_policy=staleness_policy,
+        compensation_lambda=1.0,
+        seed=seed,
+        supernet_state=warm_state,
+    )
+    results = server.run(ROUNDS)
+    return np.array([r.mean_reward for r in results], dtype=float)
+
+
+def test_fig8_staleness(benchmark):
+    def reproduce():
+        train, _ = bench_dataset(train_per_class=24)
+        curves = {"no staleness": [], "throw": [], "use": [], "compensate": []}
+        for seed in range(SEEDS):
+            shards = bench_shards(train, 4, seed=seed)
+            warm = build_server(shards, update_alpha=False, seed=seed)
+            warm.run(15)
+            warm_state = warm.supernet.state_dict()
+            curves["no staleness"].append(
+                _run_variant("compensate", False, shards, warm_state, seed + 50)
+            )
+            for policy in ("throw", "use", "compensate"):
+                curves[policy].append(
+                    _run_variant(policy, True, shards, warm_state, seed + 50)
+                )
+        return {
+            label: np.nanmean(np.array(runs), axis=0) for label, runs in curves.items()
+        }
+
+    curves = run_once(benchmark, reproduce)
+    finals = {label: tail_mean(curve, 20) for label, curve in curves.items()}
+    lines = [
+        "Fig. 8: searching-phase accuracy under severe staleness "
+        f"({list(SEVERE_MIX)}), {SEEDS}-seed mean",
+        f"{'policy':<14} final(20-round mean)",
+    ]
+    for label, value in finals.items():
+        lines.append(f"{label:<14} {value:.4f}")
+    lines.append("")
+    lines.append("round  " + "  ".join(f"{l:>12}" for l in curves))
+    for i in range(ROUNDS):
+        lines.append(
+            f"{i:5d}  "
+            + "  ".join(f"{curves[l][i]:12.4f}" for l in curves)
+        )
+    save_result("fig8_staleness", lines)
+
+    # Throw is the worst treatment (paper: "yields the least accurate
+    # model among all").
+    assert finals["throw"] < finals["compensate"]
+    assert finals["throw"] < finals["use"] + 0.02
+    # Compensation is at least as good as raw use (paper: superior).
+    assert finals["compensate"] >= finals["use"] - 0.02
+    # Compensation approaches the staleness-free reference.
+    assert finals["compensate"] >= finals["no staleness"] - 0.06

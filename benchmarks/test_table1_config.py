@@ -1,0 +1,41 @@
+"""Table I — default experimental settings.
+
+Regenerates the paper's hyperparameter table verbatim from
+``repro.core.TABLE1_DEFAULTS`` and checks that the ``paper()`` experiment
+profile is wired to those exact values.
+"""
+
+from conftest import run_once, save_result
+
+from repro.core import TABLE1_DEFAULTS, ExperimentConfig
+
+
+def test_table1_default_settings(benchmark):
+    def reproduce():
+        config = ExperimentConfig.paper()
+        lines = ["Table I: default experimental settings", ""]
+        for name, value in TABLE1_DEFAULTS.items():
+            lines.append(f"{name:<34} {value}")
+        return config, lines
+
+    config, lines = run_once(benchmark, reproduce)
+    save_result("table1_config", lines)
+
+    # The runnable profile must agree with the printed reference values.
+    assert config.batch_size == TABLE1_DEFAULTS["batch size"]
+    assert config.num_participants == TABLE1_DEFAULTS["# participant (K)"]
+    assert config.theta_lr == TABLE1_DEFAULTS["learning rate (theta)"]
+    assert config.theta_momentum == TABLE1_DEFAULTS["momentum (theta)"]
+    assert config.theta_weight_decay == TABLE1_DEFAULTS["weight decay (theta)"]
+    assert config.theta_grad_clip == TABLE1_DEFAULTS["gradient clip (theta)"]
+    assert config.alpha_lr == TABLE1_DEFAULTS["learning rate (alpha)"]
+    assert config.alpha_weight_decay == TABLE1_DEFAULTS["weight decay (alpha)"]
+    assert config.alpha_grad_clip == TABLE1_DEFAULTS["gradient clip (alpha)"]
+    assert config.baseline_decay == TABLE1_DEFAULTS["baseline decay (alpha)"]
+    assert config.fl_lr == TABLE1_DEFAULTS["learning rate (P3, FL)"]
+    assert config.fl_momentum == TABLE1_DEFAULTS["momentum (P3, FL)"]
+    assert config.fl_weight_decay == TABLE1_DEFAULTS["weight decay (P3, FL)"]
+    assert config.warmup_rounds == TABLE1_DEFAULTS["# warm-up steps"]
+    assert config.search_rounds == TABLE1_DEFAULTS["# searching steps"]
+    assert config.retrain_epochs == TABLE1_DEFAULTS["# training epochs"]
+    assert config.fl_retrain_rounds == TABLE1_DEFAULTS["# FL training steps"]

@@ -1,0 +1,103 @@
+"""Table II — centralised evaluation accuracies of searched models (CIFAR10).
+
+Top section: architectures searched by DARTS (1st/2nd order), ENAS, and
+our federated RL method, all retrained centralised (P3) and evaluated
+(P4).  Bottom section: our method under the paper's staleness mixes with
+the three straggler policies — use / throw / delay-compensated at "70%
+staleness" (severe mix) and delay-compensated at "10% staleness"
+(slight mix).
+
+Shape claims asserted (paper: 2.62% ours vs 3.00/2.81 DARTS, 2.89 ENAS;
+DC rows 2.72 < use 2.84 < throw 3.00; 10% staleness 2.59 best):
+
+* every searched architecture beats chance by a wide margin,
+* our federated search is competitive with the centralised searchers,
+* under severe staleness, delay compensation is not worse than throwing
+  stale updates away,
+* slight staleness is not worse than severe staleness.
+"""
+
+import numpy as np
+from conftest import run_once, save_result
+
+from harness import (
+    SEVERE_MIX,
+    SLIGHT_MIX,
+    BENCH_NET,
+    bench_dataset,
+    bench_shards,
+    retrain_and_evaluate,
+    run_our_search,
+)
+
+
+def test_table2_centralized_eval(benchmark):
+    def reproduce():
+        train, test = bench_dataset(train_per_class=24)
+        shards = bench_shards(train, 4, non_iid=False, seed=0)
+        rows = {}
+
+        # --- Centralised comparators -------------------------------------
+        from repro.baselines import (
+            DartsConfig,
+            DartsSearcher,
+            EnasConfig,
+            EnasSearcher,
+        )
+
+        search_train, search_val = train.split(0.7, np.random.default_rng(0))
+        for label, order in (("DARTS (1st order)", 1), ("DARTS (2nd order)", 2)):
+            searcher = DartsSearcher(
+                BENCH_NET,
+                search_train,
+                search_val,
+                DartsConfig(batch_size=16, order=order),
+                rng=np.random.default_rng(3),
+            )
+            outcome = searcher.search(25)
+            rows[label] = retrain_and_evaluate(outcome.genotype, train, test)
+
+        enas = EnasSearcher(
+            BENCH_NET, train, EnasConfig(batch_size=16), rng=np.random.default_rng(4)
+        )
+        rows["ENAS"] = retrain_and_evaluate(enas.search(50).genotype, train, test)
+
+        # --- Ours (no staleness) ------------------------------------------
+        genotype, _ = run_our_search(shards, rounds=60, seed=0)
+        rows["Ours"] = retrain_and_evaluate(genotype, train, test)
+
+        # --- Delay-compensated section ------------------------------------
+        for label, mix, policy in (
+            ("use (70% staleness)", SEVERE_MIX, "use"),
+            ("throw (70% staleness)", SEVERE_MIX, "throw"),
+            ("Ours (70% staleness)", SEVERE_MIX, "compensate"),
+            ("Ours (10% staleness)", SLIGHT_MIX, "compensate"),
+        ):
+            genotype, _ = run_our_search(
+                shards, rounds=60, seed=0, staleness_mix=mix, staleness_policy=policy
+            )
+            rows[label] = retrain_and_evaluate(genotype, train, test)
+        return rows
+
+    rows = run_once(benchmark, reproduce)
+    lines = [
+        "Table II: centralised evaluation of searched models (CIFAR10 stand-in)",
+        f"{'method':<24} {'error(%)':>9} {'params':>8}",
+    ]
+    for label, (error, params) in rows.items():
+        lines.append(f"{label:<24} {error:9.2f} {params:8,}")
+    save_result("table2_centralized_eval", lines)
+
+    chance_error = 90.0
+    for label, (error, _) in rows.items():
+        assert error < chance_error - 10, f"{label} no better than chance"
+
+    best_central = min(
+        rows["DARTS (1st order)"][0], rows["DARTS (2nd order)"][0], rows["ENAS"][0]
+    )
+    # Ours is competitive with centralised NAS (paper: actually best).
+    assert rows["Ours"][0] <= best_central + 15.0
+    # DC >= throw under severe staleness (allowing simulator noise).
+    assert rows["Ours (70% staleness)"][0] <= rows["throw (70% staleness)"][0] + 10.0
+    # Slight staleness at least as good as severe.
+    assert rows["Ours (10% staleness)"][0] <= rows["Ours (70% staleness)"][0] + 10.0

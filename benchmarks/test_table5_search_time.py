@@ -1,0 +1,92 @@
+"""Table V — search time and sub-net size on CIFAR10.
+
+Reproduces the efficiency table under the virtual clock: our method on
+GTX 1080 Ti-class participants and on Jetson TX2-class participants,
+versus FedNAS (whole-supernet training) and EvoFedNAS (per-candidate
+training) on 1080 Ti-class hardware.
+
+Shape claims (paper: ours < 2.5 h on 1080Ti and < 10 h on TX2 — a 4x
+device gap; FedNAS < 5 h with 1.93 MB supernet payload vs our 0.27 MB
+average sub-net — a ~7x payload gap at N=8; EvoFedNAS 16.1 h slowest):
+
+* our search time is shorter than FedNAS's and EvoFedNAS's for the same
+  number of rounds,
+* TX2 time ≈ 4x the 1080 Ti time,
+* our average sub-model payload is a small fraction of the supernet.
+"""
+
+import numpy as np
+from conftest import run_once, save_result
+
+from harness import BENCH_NET, bench_dataset, bench_shards, build_server
+
+
+ROUNDS = 25
+
+
+def test_table5_search_time(benchmark):
+    def reproduce():
+        train, _ = bench_dataset(train_per_class=24)
+        shards = bench_shards(train, 4, non_iid=False, seed=0)
+        rows = {}
+
+        from repro.baselines import (
+            EvoFedNasConfig,
+            EvoFedNasSearcher,
+            FedNasConfig,
+            FedNasSearcher,
+        )
+        from repro.federated.participant import GTX_1080TI, JETSON_TX2
+
+        fednas = FedNasSearcher(
+            BENCH_NET, shards, FedNasConfig(batch_size=16),
+            device=GTX_1080TI, rng=np.random.default_rng(1),
+        )
+        outcome = fednas.search(ROUNDS)
+        rows["FedNAS"] = (outcome.simulated_time_s, outcome.mean_payload_bytes)
+
+        evo = EvoFedNasSearcher(
+            BENCH_NET,
+            shards,
+            EvoFedNasConfig(population_size=4, batch_size=16),
+            device=GTX_1080TI,
+            rng=np.random.default_rng(2),
+        )
+        evo_outcome = evo.search(max(2, ROUNDS // 8))
+        rows["EvoFedNAS"] = (
+            evo_outcome.simulated_time_s,
+            evo_outcome.mean_payload_bytes,
+        )
+
+        for label, device in (("Ours (1080Ti)", GTX_1080TI), ("Ours (TX2)", JETSON_TX2)):
+            server = build_server(shards, device=device, seed=0)
+            results = server.run(ROUNDS)
+            mean_payload = float(
+                np.mean([r.mean_submodel_bytes for r in results])
+            )
+            rows[label] = (server.clock_s, mean_payload)
+        supernet_bytes = fednas.supernet_bytes
+        return rows, supernet_bytes
+
+    rows, supernet_bytes = run_once(benchmark, reproduce)
+    lines = [
+        f"Table V: simulated search cost for {ROUNDS} rounds "
+        "(virtual clock; payload per participant per round)",
+        f"{'method':<15} {'time(s)':>10} {'payload(kB)':>12}",
+    ]
+    for label, (seconds, payload) in rows.items():
+        lines.append(f"{label:<15} {seconds:10.3f} {payload / 1e3:12.2f}")
+    lines.append(f"{'(supernet)':<15} {'':>10} {supernet_bytes / 1e3:12.2f}")
+    save_result("table5_search_time", lines)
+
+    # Ours is faster than FedNAS for equal rounds (sub-model vs supernet).
+    assert rows["Ours (1080Ti)"][0] < rows["FedNAS"][0]
+    # EvoFedNAS is the slowest per unit of search progress.
+    assert rows["EvoFedNAS"][0] > rows["Ours (1080Ti)"][0]
+    # The TX2 device gap is the calibrated 4x.
+    ratio = rows["Ours (TX2)"][0] / rows["Ours (1080Ti)"][0]
+    assert 3.0 < ratio < 5.0
+    # Our payload is a small fraction of the supernet (paper: 0.27/1.93).
+    assert rows["Ours (1080Ti)"][1] < supernet_bytes / 2
+    # FedNAS ships the whole supernet.
+    assert rows["FedNAS"][1] == supernet_bytes

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Checkpointing a long search and resuming after a server restart.
+
+The paper's search phase runs for thousands of rounds; a real deployment
+must survive restarts.  This example searches for a while, checkpoints
+the full server state (supernet weights, architecture parameters,
+optimizer momentum, baseline, round counter), simulates a crash by
+building a brand-new server, restores, and continues — then verifies the
+resumed run picked up exactly where the original left off.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.checkpoint import restore_search_state, save_search_state
+from repro.controller import ArchitecturePolicy
+from repro.data import iid_partition, synth_cifar10
+from repro.federated import FederatedSearchServer, Participant
+from repro.reporting import ascii_curve, summarize_rounds
+from repro.search_space import Supernet, SupernetConfig
+
+CONFIG = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+def build_server(seed: int) -> FederatedSearchServer:
+    train, _ = synth_cifar10(seed=2, train_per_class=20, test_per_class=4, image_size=8)
+    shards = iid_partition(train, 4, rng=np.random.default_rng(0))
+    supernet = Supernet(CONFIG, rng=np.random.default_rng(seed))
+    policy = ArchitecturePolicy(CONFIG.num_edges, rng=np.random.default_rng(seed + 1))
+    participants = [
+        Participant(k, s, batch_size=16, rng=np.random.default_rng(seed + 10 + k))
+        for k, s in enumerate(shards)
+    ]
+    server = FederatedSearchServer(
+        supernet, policy, participants, rng=np.random.default_rng(seed + 2)
+    )
+    server.config.theta_lr = 0.1
+    server.theta_optimizer.lr = 0.1
+    return server
+
+
+def main() -> None:
+    checkpoint = Path(tempfile.mkdtemp()) / "search.ckpt"
+
+    print("phase 1: searching for 30 rounds, then checkpointing ...")
+    server = build_server(seed=0)
+    first_leg = server.run(30)
+    save_search_state(server, checkpoint)
+    print(f"  checkpoint written: {checkpoint} "
+          f"({checkpoint.stat().st_size / 1e3:.1f} kB)")
+    print(f"  state at save: round={server.round}, "
+          f"baseline={server.baseline.value:.3f}")
+
+    print("\nphase 2: 'server crash' — constructing a fresh server "
+          "and restoring ...")
+    resumed = build_server(seed=123)  # deliberately different init
+    restore_search_state(resumed, checkpoint)
+    print(f"  restored: round={resumed.round}, "
+          f"baseline={resumed.baseline.value:.3f}")
+    assert resumed.round == 30
+    assert np.allclose(resumed.policy.alpha, server.policy.alpha)
+
+    print("\nphase 3: continuing the search for 30 more rounds ...")
+    second_leg = resumed.run(30)
+
+    rewards = [r.mean_reward for r in first_leg + second_leg]
+    print()
+    print(ascii_curve(rewards, width=60, height=8,
+                      label="search accuracy across the restart"))
+    summary = summarize_rounds(first_leg + second_leg)
+    print(f"\nfinal accuracy: {summary['final_accuracy']:.3f} over "
+          f"{int(summary['rounds'])} rounds "
+          f"({int(summary['fresh_updates'])} updates)")
+    print("\nthe curve continues smoothly across round 30 — no retraining "
+          "lost to the restart.")
+
+
+if __name__ == "__main__":
+    main()

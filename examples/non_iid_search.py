@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Searched vs pre-determined models on non-i.i.d. federated data.
+
+The paper's core motivation (Sec. I): a fixed hand-designed model often
+fits label-skewed federated data poorly, while a searched architecture
+adapts.  This example:
+
+1. builds a Dirichlet(0.5) non-iid partition of the CIFAR10 stand-in,
+2. searches an architecture with the RL-based federated method,
+3. retrains it federatedly (P3) alongside a fixed deep residual baseline
+   (the paper's ResNet152 role) of many more parameters,
+4. compares test accuracy and model size — the Table IV story.
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, FederatedModelSearch
+from repro.baselines import resnet_stand_in
+from repro.data import skewness, standard_augmentation
+from repro.evaluation import evaluate_accuracy
+from repro.federated import FedAvgConfig, FedAvgTrainer
+
+
+def main() -> None:
+    config = ExperimentConfig.small(
+        non_iid=True,
+        num_participants=4,
+        warmup_rounds=10,
+        search_rounds=40,
+        fl_retrain_rounds=25,
+        seed=1,
+    )
+    pipeline = FederatedModelSearch(config)
+    print(f"label skew across shards: {skewness(pipeline.shards):.3f} "
+          "(0 = perfectly iid)")
+
+    report = pipeline.run(retrain_mode="federated")
+    print(f"\nsearched model: {report.model_parameters:,} params, "
+          f"test accuracy {report.test_accuracy:.3f}")
+
+    # The pre-determined baseline, trained with the same FedAvg recipe.
+    fixed = resnet_stand_in(
+        num_classes=config.num_classes, rng=np.random.default_rng(config.seed)
+    )
+    trainer = FedAvgTrainer(
+        fixed,
+        pipeline.shards,
+        FedAvgConfig(
+            lr=config.fl_lr,
+            momentum=config.fl_momentum,
+            weight_decay=config.fl_weight_decay,
+            batch_size=config.batch_size,
+        ),
+        transform=standard_augmentation(config.image_size),
+        rng=np.random.default_rng(config.seed),
+    )
+    trainer.run(config.fl_retrain_rounds)
+    fixed_accuracy = evaluate_accuracy(fixed, pipeline.test_set)
+    print(f"fixed model:    {fixed.num_parameters():,} params, "
+          f"test accuracy {fixed_accuracy:.3f}")
+
+    ratio = fixed.num_parameters() / max(report.model_parameters, 1)
+    print(f"\nthe fixed baseline is {ratio:.1f}x larger; on non-iid shards the "
+          "searched architecture should match or beat it "
+          "(paper Table IV: 18.56% vs 22.40% error at 1/15 the size).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: search, retrain, and evaluate in a dozen lines.
+
+Runs the full four-phase pipeline of the paper on a small synthetic
+CIFAR10 stand-in with 4 participants:
+
+  P1  warm up the supernet weights (architecture frozen),
+  P2  run the RL-based federated architecture search (Alg. 1),
+  P3  retrain the searched architecture from scratch with FedAvg,
+  P4  evaluate on the held-out test set.
+
+Expected runtime: well under a minute on a laptop CPU.
+"""
+
+from repro import ExperimentConfig, FederatedModelSearch
+
+
+def main() -> None:
+    config = ExperimentConfig.small(
+        dataset="cifar10",
+        non_iid=True,  # the paper's motivating setting
+        num_participants=4,
+        warmup_rounds=10,
+        search_rounds=40,
+        fl_retrain_rounds=20,
+        seed=0,
+    )
+    pipeline = FederatedModelSearch(config)
+
+    print(f"participants: {config.num_participants}  (non-iid Dirichlet(0.5) shards)")
+    print(f"supernet:     {pipeline.supernet.num_parameters():,} parameters")
+    print()
+
+    report = pipeline.run(retrain_mode="federated")
+
+    print("searched architecture:")
+    print(report.genotype.describe())
+    print()
+    print(f"sub-model payload (mean): {report.mean_submodel_bytes / 1e3:.1f} kB "
+          f"vs supernet {pipeline.supernet.size_bytes() / 1e3:.1f} kB")
+    print(f"searched-model parameters: {report.model_parameters:,}")
+    print(f"test accuracy (P4):        {report.test_accuracy:.3f}")
+    rewards = report.search_recorder.moving_average("train_accuracy", window=10)
+    print(f"search reward curve:       {rewards[0]:.3f} -> {rewards[-1]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Architecture transferability (paper Sec. VI-E, Tables VII-VIII, Fig. 11).
+
+Searching is the expensive phase, so a common workflow transfers the
+*architecture* found on one dataset to another and only retrains the
+weights.  This example searches on the CIFAR10 stand-in, then retrains
+the genotype from scratch on the harder CIFAR100 stand-in (more classes),
+comparing against an architecture searched directly on CIFAR100.
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, FederatedModelSearch
+from repro.core.phases import evaluate, retrain_centralized
+
+
+def search_genotype(dataset: str, seed: int):
+    config = ExperimentConfig.small(
+        dataset=dataset,
+        num_participants=4,
+        warmup_rounds=10,
+        search_rounds=35,
+        seed=seed,
+    )
+    pipeline = FederatedModelSearch(config)
+    pipeline.warm_up()
+    pipeline.search()
+    return pipeline.derive()
+
+
+def main() -> None:
+    print("searching on cifar10 ...")
+    cifar10_genotype = search_genotype("cifar10", seed=0)
+    print(cifar10_genotype.describe())
+
+    print("\nsearching directly on cifar100 ...")
+    cifar100_genotype = search_genotype("cifar100", seed=0)
+
+    target = ExperimentConfig.small(dataset="cifar100", retrain_epochs=8, seed=1)
+    target_pipeline = FederatedModelSearch(target)
+    train, test = target_pipeline.train_set, target_pipeline.test_set
+
+    rows = []
+    for label, genotype in (
+        ("transferred (cifar10 -> cifar100)", cifar10_genotype),
+        ("searched on cifar100", cifar100_genotype),
+    ):
+        model, _ = retrain_centralized(
+            genotype, target, train, test, rng=np.random.default_rng(5)
+        )
+        accuracy = evaluate(model, test)
+        rows.append((label, accuracy, model.num_parameters()))
+
+    print(f"\n{'architecture':<36} {'accuracy':>9} {'params':>9}")
+    for label, accuracy, params in rows:
+        print(f"{label:<36} {accuracy:9.3f} {params:9,}")
+    print("\nthe transferred architecture should remain competitive "
+          "(paper: within ~1% of the natively searched one).")
+
+
+if __name__ == "__main__":
+    main()

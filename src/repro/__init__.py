@@ -1,0 +1,45 @@
+"""Reproduction of *Federated Model Search via Reinforcement Learning*
+(Yao, Wang, Xu, Xiang, Shao, Chen, Tong — ICDCS 2021).
+
+An RL-based federated neural-architecture-search system on a from-scratch
+numpy deep-learning substrate:
+
+* :mod:`repro.nn` — autograd tensors, conv nets, optimizers;
+* :mod:`repro.data` — synthetic CIFAR/SVHN stand-ins, Dirichlet non-iid
+  partitioning, the paper's augmentation recipe;
+* :mod:`repro.search_space` — the DARTS cell space, supernet, sub-model
+  pruning, genotypes;
+* :mod:`repro.controller` — the architecture-matrix RL policy and
+  REINFORCE machinery;
+* :mod:`repro.network` — 4G/LTE bandwidth traces and adaptive
+  transmission;
+* :mod:`repro.federated` — participants, the delay-compensated soft-sync
+  server (Alg. 1), FedAvg;
+* :mod:`repro.baselines` — DARTS, ENAS, FedNAS, EvoFedNAS, fixed models;
+* :mod:`repro.core` — experiment configs and the four-phase pipeline.
+
+Quickstart::
+
+    from repro import ExperimentConfig, FederatedModelSearch
+
+    config = ExperimentConfig.small(non_iid=True, seed=0)
+    report = FederatedModelSearch(config).run()
+    print(report.genotype.describe(), report.test_accuracy)
+"""
+
+from . import checkpoint, compare, reporting
+from .core import ExperimentConfig, FederatedModelSearch, SearchReport
+from .evaluation import CurveRecorder, evaluate_accuracy
+from .search_space import Genotype
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "FederatedModelSearch",
+    "SearchReport",
+    "CurveRecorder",
+    "evaluate_accuracy",
+    "Genotype",
+    "__version__",
+]

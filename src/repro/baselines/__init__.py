@@ -1,0 +1,24 @@
+"""``repro.baselines`` — every comparator of Tables II-V and Figs. 7-11."""
+
+from .common import SearchOutcome
+from .darts import DartsConfig, DartsSearcher
+from .enas import EnasConfig, EnasSearcher
+from .evofednas import EvoFedNasConfig, EvoFedNasSearcher
+from .fednas import FedNasConfig, FedNasSearcher
+from .fixed_models import DeepResidualNet, ResidualBlock, SimpleCNN, resnet_stand_in
+
+__all__ = [
+    "SearchOutcome",
+    "DartsConfig",
+    "DartsSearcher",
+    "EnasConfig",
+    "EnasSearcher",
+    "EvoFedNasConfig",
+    "EvoFedNasSearcher",
+    "FedNasConfig",
+    "FedNasSearcher",
+    "DeepResidualNet",
+    "ResidualBlock",
+    "SimpleCNN",
+    "resnet_stand_in",
+]

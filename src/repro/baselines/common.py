@@ -1,0 +1,28 @@
+"""Shared result type and cost accounting for NAS baselines."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.evaluation import CurveRecorder
+from repro.search_space import Genotype
+
+__all__ = ["SearchOutcome"]
+
+
+@dataclasses.dataclass
+class SearchOutcome:
+    """What every searcher returns: the architecture plus its costs.
+
+    ``simulated_time_s`` is virtual wall-clock under the device/bandwidth
+    models (Table V); ``bytes_transferred`` sums all payloads shipped
+    between server and participants (the communication-efficiency claim);
+    both are 0 for purely centralised searchers.
+    """
+
+    genotype: Genotype
+    recorder: CurveRecorder
+    simulated_time_s: float = 0.0
+    bytes_transferred: float = 0.0
+    mean_payload_bytes: Optional[float] = None

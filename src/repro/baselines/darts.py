@@ -1,0 +1,236 @@
+"""Centralised DARTS (Liu et al., ICLR 2019), first and second order.
+
+The gradient-based comparator of Table II.  The supernet executes all
+operations per edge weighted by a softmax over architecture parameters
+(Eq. 3); weights and architecture parameters are optimised alternately —
+weights on the training split, architecture on the validation split.
+
+Second-order DARTS replaces ``∇_α L_val(w, α)`` with the unrolled
+estimate ``∇_α L_val(w − ξ ∇_w L_train, α)`` and approximates the
+implicit Hessian-vector product by finite differences, exactly following
+the reference implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+import repro.nn as nn
+from repro.data import ArrayDataset, DataLoader
+from repro.evaluation import CurveRecorder, batch_accuracy
+from repro.search_space import (
+    NUM_OPERATIONS,
+    Genotype,
+    Supernet,
+    SupernetConfig,
+    derive_genotype,
+)
+
+from .common import SearchOutcome
+
+__all__ = ["DartsConfig", "DartsSearcher"]
+
+
+@dataclasses.dataclass
+class DartsConfig:
+    """DARTS hyperparameters (Table I centralised column)."""
+
+    w_lr: float = 0.025
+    w_momentum: float = 0.9
+    w_weight_decay: float = 3e-4
+    w_grad_clip: float = 5.0
+    alpha_lr: float = 3e-4
+    alpha_weight_decay: float = 1e-3
+    batch_size: int = 16
+    order: int = 1
+    #: unrolling step size ξ for 2nd order (defaults to w_lr as in DARTS)
+    xi: Optional[float] = None
+    #: DARTS+ early stopping (Liang et al.): stop the search once
+    #: ``skip_connect`` dominates this fraction of the normal cell's
+    #: edges — the signature of the DARTS performance collapse.  None
+    #: disables it (vanilla DARTS).
+    early_stop_skip_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.order not in (1, 2):
+            raise ValueError(f"order must be 1 or 2, got {self.order}")
+        if self.early_stop_skip_fraction is not None and not (
+            0.0 < self.early_stop_skip_fraction <= 1.0
+        ):
+            raise ValueError(
+                "early_stop_skip_fraction must be in (0, 1], got "
+                f"{self.early_stop_skip_fraction}"
+            )
+
+
+class DartsSearcher:
+    """Alternating bilevel optimisation of (α, w) on a mixed supernet."""
+
+    def __init__(
+        self,
+        config: SupernetConfig,
+        train_set: ArrayDataset,
+        val_set: ArrayDataset,
+        darts_config: Optional[DartsConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.rng = rng or np.random.default_rng()
+        self.net_config = config
+        self.config = darts_config or DartsConfig()
+        self.supernet = Supernet(config, rng=self.rng)
+        e = config.num_edges
+        self.alpha_normal = nn.Parameter(1e-3 * self.rng.standard_normal((e, NUM_OPERATIONS)))
+        self.alpha_reduce = nn.Parameter(1e-3 * self.rng.standard_normal((e, NUM_OPERATIONS)))
+        self.w_optimizer = nn.SGD(
+            self.supernet.parameters(),
+            lr=self.config.w_lr,
+            momentum=self.config.w_momentum,
+            weight_decay=self.config.w_weight_decay,
+        )
+        self.alpha_optimizer = nn.Adam(
+            [self.alpha_normal, self.alpha_reduce],
+            lr=self.config.alpha_lr,
+            weight_decay=self.config.alpha_weight_decay,
+        )
+        self.train_loader = DataLoader(
+            train_set, batch_size=self.config.batch_size, rng=self.rng
+        )
+        self.val_loader = DataLoader(
+            val_set, batch_size=self.config.batch_size, rng=self.rng
+        )
+        self.recorder = CurveRecorder()
+
+    # ------------------------------------------------------------------
+    def _mixed_forward(self, x) -> nn.Tensor:
+        from repro.nn.functional import softmax
+
+        weights_normal = softmax(self.alpha_normal, axis=-1)
+        weights_reduce = softmax(self.alpha_reduce, axis=-1)
+        return self.supernet.forward_mixed(x, weights_normal, weights_reduce)
+
+    def _loss_on(self, batch) -> Tuple[nn.Tensor, float]:
+        x, y = batch
+        logits = self._mixed_forward(x)
+        return nn.functional.cross_entropy(logits, y), batch_accuracy(logits, y)
+
+    def _zero_all(self) -> None:
+        self.supernet.zero_grad()
+        self.alpha_normal.zero_grad()
+        self.alpha_reduce.zero_grad()
+
+    # ------------------------------------------------------------------
+    def step(self) -> float:
+        """One alternating step: architecture update then weight update.
+
+        Returns the training-batch accuracy (the curve of Figs. 3-6's
+        centralised analogue).
+        """
+        val_batch = self.val_loader.sample_batch()
+        train_batch = self.train_loader.sample_batch()
+
+        if self.config.order == 1:
+            self._alpha_step_first_order(val_batch)
+        else:
+            self._alpha_step_second_order(train_batch, val_batch)
+
+        self._zero_all()
+        loss, accuracy = self._loss_on(train_batch)
+        loss.backward()
+        nn.clip_grad_norm(self.supernet.parameters(), self.config.w_grad_clip)
+        self.w_optimizer.step()
+        self.recorder.record("train_accuracy", accuracy)
+        return accuracy
+
+    def _alpha_step_first_order(self, val_batch) -> None:
+        self._zero_all()
+        loss, _ = self._loss_on(val_batch)
+        loss.backward()
+        self.alpha_optimizer.step()
+
+    def _alpha_step_second_order(self, train_batch, val_batch) -> None:
+        xi = self.config.xi if self.config.xi is not None else self.config.w_lr
+        params = self.supernet.parameters()
+        backup = [p.data.copy() for p in params]
+
+        # Virtual step: w' = w − ξ ∇_w L_train(w).
+        self._zero_all()
+        loss, _ = self._loss_on(train_batch)
+        loss.backward()
+        train_grads = [None if p.grad is None else p.grad.copy() for p in params]
+        for p, g in zip(params, train_grads):
+            if g is not None:
+                p.data -= xi * g
+
+        # ∇_α L_val(w', α) and ∇_{w'} L_val.
+        self._zero_all()
+        loss, _ = self._loss_on(val_batch)
+        loss.backward()
+        dalpha = [self.alpha_normal.grad.copy(), self.alpha_reduce.grad.copy()]
+        dw = [None if p.grad is None else p.grad.copy() for p in params]
+
+        # Finite-difference Hessian-vector product.
+        norm = np.sqrt(sum(float((g ** 2).sum()) for g in dw if g is not None))
+        eps = 0.01 / max(norm, 1e-8)
+        for p, orig, g in zip(params, backup, dw):
+            p.data[...] = orig + (eps * g if g is not None else 0.0)
+        g_plus = self._alpha_grads_on(train_batch)
+        for p, orig, g in zip(params, backup, dw):
+            p.data[...] = orig - (eps * g if g is not None else 0.0)
+        g_minus = self._alpha_grads_on(train_batch)
+        for p, orig in zip(params, backup):
+            p.data[...] = orig
+
+        hessian_term = [(gp - gm) / (2 * eps) for gp, gm in zip(g_plus, g_minus)]
+        self._zero_all()
+        self.alpha_normal.grad = dalpha[0] - xi * hessian_term[0]
+        self.alpha_reduce.grad = dalpha[1] - xi * hessian_term[1]
+        self.alpha_optimizer.step()
+
+    def _alpha_grads_on(self, batch) -> List[np.ndarray]:
+        self._zero_all()
+        loss, _ = self._loss_on(batch)
+        loss.backward()
+        return [
+            np.zeros_like(self.alpha_normal.data)
+            if self.alpha_normal.grad is None
+            else self.alpha_normal.grad.copy(),
+            np.zeros_like(self.alpha_reduce.data)
+            if self.alpha_reduce.grad is None
+            else self.alpha_reduce.grad.copy(),
+        ]
+
+    # ------------------------------------------------------------------
+    def alpha_stack(self) -> np.ndarray:
+        """Architecture parameters in the shared (2, E, N) layout."""
+        return np.stack([self.alpha_normal.data, self.alpha_reduce.data])
+
+    def derive(self) -> Genotype:
+        return derive_genotype(self.alpha_stack())
+
+    def skip_connect_fraction(self) -> float:
+        """Fraction of normal-cell edges whose argmax op is skip_connect.
+
+        The DARTS+ collapse indicator: when this climbs, the mixed-op
+        optimisation is degenerating toward parameter-free edges.
+        """
+        from repro.search_space import PRIMITIVES
+
+        skip = PRIMITIVES.index("skip_connect")
+        choices = self.alpha_normal.data.argmax(axis=1)
+        return float(np.mean(choices == skip))
+
+    def search(self, steps: int) -> SearchOutcome:
+        """Run up to ``steps`` alternating updates.
+
+        With ``early_stop_skip_fraction`` set, stops as soon as
+        skip-connects dominate that fraction of the normal cell (DARTS+).
+        """
+        threshold = self.config.early_stop_skip_fraction
+        for _ in range(steps):
+            self.step()
+            if threshold is not None and self.skip_connect_fraction() >= threshold:
+                break
+        return SearchOutcome(genotype=self.derive(), recorder=self.recorder)

@@ -1,0 +1,113 @@
+"""Centralised ENAS-style RL search with parameter sharing (Pham et al.).
+
+The RL comparator of Table II.  Like our federated method it samples one
+operation per edge from a learned policy and shares supernet weights
+across sampled architectures; unlike ours it runs on a centralised
+dataset with no federation, no transmission, and no staleness.
+
+(The original ENAS uses an LSTM controller; consistent with the paper's
+framing — "ProxylessNAS adopts an architecture parameter matrix as a
+controller" — we use the same matrix controller for all RL searchers so
+the comparison isolates the *distribution* strategy, not the controller
+parameterisation.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+import repro.nn as nn
+from repro.controller import (
+    AlphaOptimizer,
+    ArchitecturePolicy,
+    MovingAverageBaseline,
+    ReinforceEstimator,
+)
+from repro.data import ArrayDataset, DataLoader
+from repro.evaluation import CurveRecorder, batch_accuracy
+from repro.search_space import Genotype, Supernet, SupernetConfig, derive_genotype
+
+from .common import SearchOutcome
+
+__all__ = ["EnasConfig", "EnasSearcher"]
+
+
+@dataclasses.dataclass
+class EnasConfig:
+    w_lr: float = 0.025
+    w_momentum: float = 0.9
+    w_weight_decay: float = 3e-4
+    w_grad_clip: float = 5.0
+    alpha_lr: float = 0.003
+    alpha_weight_decay: float = 1e-4
+    baseline_decay: float = 0.99
+    batch_size: int = 16
+    #: architectures sampled (and trained) per policy update
+    samples_per_step: int = 2
+
+
+class EnasSearcher:
+    """Sampled single-path training + REINFORCE on central data."""
+
+    def __init__(
+        self,
+        config: SupernetConfig,
+        train_set: ArrayDataset,
+        enas_config: Optional[EnasConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.rng = rng or np.random.default_rng()
+        self.net_config = config
+        self.config = enas_config or EnasConfig()
+        self.supernet = Supernet(config, rng=self.rng)
+        self.policy = ArchitecturePolicy(config.num_edges, rng=self.rng)
+        self.baseline = MovingAverageBaseline(decay=self.config.baseline_decay)
+        self.alpha_optimizer = AlphaOptimizer(
+            self.policy,
+            lr=self.config.alpha_lr,
+            weight_decay=self.config.alpha_weight_decay,
+        )
+        self.w_optimizer = nn.SGD(
+            self.supernet.parameters(),
+            lr=self.config.w_lr,
+            momentum=self.config.w_momentum,
+            weight_decay=self.config.w_weight_decay,
+        )
+        self.loader = DataLoader(train_set, batch_size=self.config.batch_size, rng=self.rng)
+        self.recorder = CurveRecorder()
+
+    def step(self) -> float:
+        """Sample architectures, train shared weights on them, update policy.
+
+        Returns the mean training accuracy across sampled architectures.
+        """
+        estimator = ReinforceEstimator(self.policy)
+        accuracies = []
+        for _ in range(self.config.samples_per_step):
+            mask = self.policy.sample_mask()
+            x, y = self.loader.sample_batch()
+            self.supernet.zero_grad()
+            logits = self.supernet(x, mask)
+            loss = nn.functional.cross_entropy(logits, y)
+            loss.backward()
+            nn.clip_grad_norm(self.supernet.parameters(), self.config.w_grad_clip)
+            self.w_optimizer.step()
+            accuracy = batch_accuracy(logits, y)
+            accuracies.append(accuracy)
+            estimator.add(mask, self.baseline.advantage(accuracy))
+        self.baseline.update(accuracies)
+        self.alpha_optimizer.step(estimator.gradient())
+        mean_accuracy = float(np.mean(accuracies))
+        self.recorder.record("train_accuracy", mean_accuracy)
+        return mean_accuracy
+
+    def derive(self) -> Genotype:
+        return derive_genotype(self.policy.alpha)
+
+    def search(self, steps: int) -> SearchOutcome:
+        for _ in range(steps):
+            self.step()
+        return SearchOutcome(genotype=self.derive(), recorder=self.recorder)

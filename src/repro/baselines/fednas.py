@@ -1,0 +1,161 @@
+"""FedNAS (He et al., 2020): federated gradient-based supernet search.
+
+The federated gradient comparator of Tables IV-V.  Every participant
+receives the **entire supernet** plus the architecture parameters, runs a
+DARTS-style local step on its own data, and returns gradients for both;
+the server averages and applies them.  This is exactly what makes it
+expensive: the per-round payload is the whole supernet (the paper's
+efficiency argument — our sub-models are ~1/N of that).
+
+Communication and compute costs are tracked through the same virtual
+accounting as our method so Table V comparisons are apples to apples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+import repro.nn as nn
+from repro.data import ArrayDataset, DataLoader
+from repro.evaluation import CurveRecorder, batch_accuracy
+from repro.nn import state_size_bytes
+from repro.nn.functional import softmax
+from repro.search_space import (
+    NUM_OPERATIONS,
+    Genotype,
+    Supernet,
+    SupernetConfig,
+    derive_genotype,
+)
+
+from .common import SearchOutcome
+from ..federated.participant import DeviceProfile, GTX_1080TI
+
+__all__ = ["FedNasConfig", "FedNasSearcher"]
+
+
+@dataclasses.dataclass
+class FedNasConfig:
+    w_lr: float = 0.025
+    w_momentum: float = 0.9
+    w_weight_decay: float = 3e-4
+    w_grad_clip: float = 5.0
+    alpha_lr: float = 3e-4
+    alpha_weight_decay: float = 1e-3
+    batch_size: int = 16
+
+
+class FedNasSearcher:
+    """Federated DARTS: whole-supernet gradients averaged at the server."""
+
+    def __init__(
+        self,
+        config: SupernetConfig,
+        shards: Sequence[ArrayDataset],
+        fednas_config: Optional[FedNasConfig] = None,
+        device: DeviceProfile = GTX_1080TI,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not shards:
+            raise ValueError("at least one shard required")
+        self.rng = rng or np.random.default_rng()
+        self.net_config = config
+        self.config = fednas_config or FedNasConfig()
+        self.device = device
+        self.supernet = Supernet(config, rng=self.rng)
+        e = config.num_edges
+        self.alpha_normal = nn.Parameter(1e-3 * self.rng.standard_normal((e, NUM_OPERATIONS)))
+        self.alpha_reduce = nn.Parameter(1e-3 * self.rng.standard_normal((e, NUM_OPERATIONS)))
+        self.w_optimizer = nn.SGD(
+            self.supernet.parameters(),
+            lr=self.config.w_lr,
+            momentum=self.config.w_momentum,
+            weight_decay=self.config.w_weight_decay,
+        )
+        self.alpha_optimizer = nn.Adam(
+            [self.alpha_normal, self.alpha_reduce],
+            lr=self.config.alpha_lr,
+            weight_decay=self.config.alpha_weight_decay,
+        )
+        self.loaders = [
+            DataLoader(
+                shard,
+                batch_size=min(self.config.batch_size, len(shard)),
+                rng=np.random.default_rng(self.rng.integers(2**32)),
+            )
+            for shard in shards
+        ]
+        self.recorder = CurveRecorder()
+        self.simulated_time_s = 0.0
+        self.bytes_transferred = 0.0
+        self.supernet_bytes = float(state_size_bytes(self.supernet.state_dict()))
+
+    def round(self) -> float:
+        """One communication round; returns mean participant accuracy."""
+        w_params = self.supernet.parameters()
+        w_grad_sum = [np.zeros_like(p.data) for p in w_params]
+        a_grad_sum = [
+            np.zeros_like(self.alpha_normal.data),
+            np.zeros_like(self.alpha_reduce.data),
+        ]
+        accuracies: List[float] = []
+        compute_times: List[float] = []
+
+        for loader in self.loaders:
+            x, y = loader.sample_batch()
+            self.supernet.zero_grad()
+            self.alpha_normal.zero_grad()
+            self.alpha_reduce.zero_grad()
+            weights_n = softmax(self.alpha_normal, axis=-1)
+            weights_r = softmax(self.alpha_reduce, axis=-1)
+            logits = self.supernet.forward_mixed(x, weights_n, weights_r)
+            loss = nn.functional.cross_entropy(logits, y)
+            loss.backward()
+            for i, p in enumerate(w_params):
+                if p.grad is not None:
+                    w_grad_sum[i] += p.grad
+            if self.alpha_normal.grad is not None:
+                a_grad_sum[0] += self.alpha_normal.grad
+            if self.alpha_reduce.grad is not None:
+                a_grad_sum[1] += self.alpha_reduce.grad
+            accuracies.append(batch_accuracy(logits, y))
+            # Every participant trains the full supernet (the N-fold cost).
+            compute_times.append(
+                self.device.train_time(self.supernet.num_parameters(), len(y))
+            )
+            self.bytes_transferred += 2 * self.supernet_bytes  # down + up
+
+        k = len(self.loaders)
+        self.supernet.zero_grad()
+        for i, p in enumerate(w_params):
+            p.grad = w_grad_sum[i] / k
+        nn.clip_grad_norm(w_params, self.config.w_grad_clip)
+        self.w_optimizer.step()
+
+        self.alpha_normal.grad = a_grad_sum[0] / k
+        self.alpha_reduce.grad = a_grad_sum[1] / k
+        self.alpha_optimizer.step()
+
+        self.simulated_time_s += float(np.max(compute_times))
+        mean_accuracy = float(np.mean(accuracies))
+        self.recorder.record("train_accuracy", mean_accuracy)
+        return mean_accuracy
+
+    def derive(self) -> Genotype:
+        return derive_genotype(
+            np.stack([self.alpha_normal.data, self.alpha_reduce.data])
+        )
+
+    def search(self, rounds: int) -> SearchOutcome:
+        for _ in range(rounds):
+            self.round()
+        return SearchOutcome(
+            genotype=self.derive(),
+            recorder=self.recorder,
+            simulated_time_s=self.simulated_time_s,
+            bytes_transferred=self.bytes_transferred,
+            mean_payload_bytes=self.supernet_bytes,
+        )

@@ -1,0 +1,163 @@
+"""One-call method comparison: ours vs the baselines on a shared setup.
+
+Productises the Table III/IV workflow: given one
+:class:`~repro.core.ExperimentConfig`, runs the requested search methods
+on identical shards, retrains every searched architecture with the same
+recipe, and returns a comparison table (plus Markdown rendering).
+
+Example
+-------
+>>> from repro import ExperimentConfig
+>>> from repro.compare import compare_methods, comparison_markdown
+>>> config = ExperimentConfig.small(non_iid=True, seed=0)
+>>> rows = compare_methods(config, methods=("ours", "fedavg", "fednas"))
+>>> print(comparison_markdown(rows))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .baselines import (
+    EvoFedNasConfig,
+    EvoFedNasSearcher,
+    FedNasConfig,
+    FedNasSearcher,
+    resnet_stand_in,
+)
+from .core import ExperimentConfig
+from .core.phases import evaluate, retrain_federated
+from .core.pipeline import FederatedModelSearch
+from .data import standard_augmentation
+from .federated import FedAvgConfig, FedAvgTrainer
+from .reporting import markdown_table
+
+__all__ = ["MethodResult", "compare_methods", "comparison_markdown", "SUPPORTED_METHODS"]
+
+SUPPORTED_METHODS = ("ours", "fedavg", "fednas", "evofednas")
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodResult:
+    """One comparison row (mirrors the paper's table columns)."""
+
+    method: str
+    error_percent: float
+    parameters: int
+    strategy: str
+    is_federated: bool
+    is_nas: bool
+
+
+def _retrain_error(genotype, pipeline: FederatedModelSearch):
+    """Federated P3 retrain + P4 eval; returns (accuracy, num_parameters)."""
+    model, _ = retrain_federated(
+        genotype,
+        pipeline.config,
+        pipeline.shards,
+        pipeline.test_set,
+        rng=np.random.default_rng(pipeline.config.seed + 1),
+    )
+    accuracy = evaluate(model, pipeline.test_set)
+    return accuracy, model.num_parameters()
+
+
+def compare_methods(
+    config: ExperimentConfig,
+    methods: Sequence[str] = SUPPORTED_METHODS,
+) -> List[MethodResult]:
+    """Run each method on the same data/partition and compare test error.
+
+    All searched architectures are retrained federatedly (P3, FL recipe)
+    on the same shards; ``fedavg`` trains the fixed deep-residual
+    stand-in directly.
+    """
+    unknown = [m for m in methods if m not in SUPPORTED_METHODS]
+    if unknown:
+        raise ValueError(f"unknown methods {unknown}; choose from {SUPPORTED_METHODS}")
+
+    pipeline = FederatedModelSearch(config)
+    results: List[MethodResult] = []
+
+    for method in methods:
+        if method == "ours":
+            pipeline.warm_up()
+            pipeline.search()
+            accuracy, params = _retrain_error(pipeline.derive(), pipeline)
+            results.append(
+                MethodResult("Ours", 100 * (1 - accuracy), params, "RL", True, True)
+            )
+        elif method == "fedavg":
+            model = resnet_stand_in(
+                num_classes=config.num_classes,
+                rng=np.random.default_rng(config.seed + 2),
+            )
+            trainer = FedAvgTrainer(
+                model,
+                pipeline.shards,
+                FedAvgConfig(
+                    lr=config.fl_lr,
+                    momentum=config.fl_momentum,
+                    weight_decay=config.fl_weight_decay,
+                    batch_size=config.batch_size,
+                ),
+                transform=standard_augmentation(config.image_size),
+                rng=np.random.default_rng(config.seed + 3),
+            )
+            trainer.run(config.fl_retrain_rounds)
+            accuracy = evaluate(model, pipeline.test_set)
+            results.append(
+                MethodResult(
+                    "FedAvg (fixed)", 100 * (1 - accuracy),
+                    model.num_parameters(), "hand", True, False,
+                )
+            )
+        elif method == "fednas":
+            searcher = FedNasSearcher(
+                config.supernet_config(),
+                pipeline.shards,
+                FedNasConfig(batch_size=config.batch_size),
+                rng=np.random.default_rng(config.seed + 4),
+            )
+            outcome = searcher.search(config.search_rounds)
+            accuracy, params = _retrain_error(outcome.genotype, pipeline)
+            results.append(
+                MethodResult("FedNAS", 100 * (1 - accuracy), params, "grad", True, True)
+            )
+        elif method == "evofednas":
+            searcher = EvoFedNasSearcher(
+                config.supernet_config(),
+                pipeline.shards,
+                EvoFedNasConfig(batch_size=config.batch_size),
+                rng=np.random.default_rng(config.seed + 5),
+            )
+            searcher.search(max(2, config.search_rounds // 8))
+            model = searcher.best_model()
+            accuracy = evaluate(model, pipeline.test_set)
+            results.append(
+                MethodResult(
+                    "EvoFedNAS", 100 * (1 - accuracy),
+                    model.num_parameters(), "evol", True, True,
+                )
+            )
+    return results
+
+
+def comparison_markdown(results: Sequence[MethodResult]) -> str:
+    """Render comparison rows in the paper's table layout."""
+    headers = ["Method", "Error(%)", "Params", "Strategy", "FL", "NAS"]
+    rows = [
+        [
+            r.method,
+            r.error_percent,
+            r.parameters,
+            r.strategy,
+            "yes" if r.is_federated else "",
+            "yes" if r.is_nas else "",
+        ]
+        for r in results
+    ]
+    return markdown_table(headers, rows, precision=2)

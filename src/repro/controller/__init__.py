@@ -1,0 +1,12 @@
+"""``repro.controller`` — the RL architecture controller (Sec. IV)."""
+
+from .policy import ArchitecturePolicy, softmax_rows
+from .reinforce import AlphaOptimizer, MovingAverageBaseline, ReinforceEstimator
+
+__all__ = [
+    "ArchitecturePolicy",
+    "softmax_rows",
+    "AlphaOptimizer",
+    "MovingAverageBaseline",
+    "ReinforceEstimator",
+]

@@ -1,0 +1,23 @@
+"""``repro.core`` — experiment configs and the four-phase pipeline."""
+
+from .config import TABLE1_DEFAULTS, ExperimentConfig
+from .phases import (
+    evaluate,
+    retrain_centralized,
+    retrain_federated,
+    run_search,
+    run_warmup,
+)
+from .pipeline import FederatedModelSearch, SearchReport
+
+__all__ = [
+    "TABLE1_DEFAULTS",
+    "ExperimentConfig",
+    "evaluate",
+    "retrain_centralized",
+    "retrain_federated",
+    "run_search",
+    "run_warmup",
+    "FederatedModelSearch",
+    "SearchReport",
+]

@@ -1,0 +1,162 @@
+"""Experiment configuration (paper Table I) and its scaled-down defaults.
+
+:meth:`ExperimentConfig.paper` carries the exact hyperparameters of
+Table I — useful as ground truth for the configuration bench and for
+anyone running at full scale on real hardware.  :meth:`ExperimentConfig.small`
+is the simulator-scale profile the tests, examples, and benchmark harness
+run by default (smaller images, fewer cells, fewer steps), preserving all
+ratios that matter (learning rates, decay, clipping, baseline decay).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.search_space import SupernetConfig
+
+__all__ = ["ExperimentConfig", "TABLE1_DEFAULTS"]
+
+#: Verbatim Table I values (name -> value), kept as a reference artefact
+#: that the Table I bench prints and the paper() profile is built from.
+TABLE1_DEFAULTS = {
+    "batch size": 256,
+    "# participant (K)": 10,
+    "learning rate (theta)": 0.025,
+    "learning rate (P3, centralized)": 0.025,
+    "momentum (theta)": 0.9,
+    "momentum (P3, centralized)": 0.9,
+    "weight decay (theta)": 0.0003,
+    "weight decay (P3, centralized)": 0.0003,
+    "gradient clip (theta)": 5,
+    "gradient clip (P3, centralized)": 5,
+    "learning rate (alpha)": 0.003,
+    "learning rate (P3, FL)": 0.1,
+    "weight decay (alpha)": 0.0001,
+    "momentum (P3, FL)": 0.5,
+    "gradient clip (alpha)": 5,
+    "weight decay (P3, FL)": 0.005,
+    "baseline decay (alpha)": 0.99,
+    "# warm-up steps": 10000,
+    "cutout": 16,
+    "# searching steps": 6000,
+    "random clip": 4,
+    "# training epochs": 600,
+    "random horizontal flapping": 0.5,
+    "# FL training steps": 6000,
+}
+
+
+@dataclasses.dataclass
+class ExperimentConfig:
+    """Everything needed to run the four-phase pipeline once."""
+
+    # Data
+    dataset: str = "cifar10"
+    non_iid: bool = False
+    dirichlet_alpha: float = 0.5
+    num_participants: int = 10
+    train_per_class: int = 40
+    test_per_class: int = 10
+    image_size: int = 16
+    seed: int = 0
+
+    # Search space
+    init_channels: int = 6
+    num_cells: int = 3
+    steps: int = 2
+
+    # Phase lengths
+    warmup_rounds: int = 20
+    search_rounds: int = 60
+    retrain_epochs: int = 10
+    fl_retrain_rounds: int = 30
+
+    # Optimisation (Table I ratios)
+    batch_size: int = 16
+    theta_lr: float = 0.025
+    theta_momentum: float = 0.9
+    theta_weight_decay: float = 3e-4
+    theta_grad_clip: float = 5.0
+    alpha_lr: float = 0.003
+    alpha_weight_decay: float = 1e-4
+    alpha_grad_clip: float = 5.0
+    baseline_decay: float = 0.99
+    fl_lr: float = 0.1
+    fl_momentum: float = 0.5
+    fl_weight_decay: float = 0.005
+
+    # Synchronisation
+    staleness_threshold: int = 2
+    staleness_policy: str = "compensate"
+    compensation_lambda: float = 0.5
+    staleness_mix: Optional[Tuple[float, ...]] = None
+
+    # Transmission
+    transmission_strategy: str = "adaptive"
+    mobility_modes: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.dataset not in ("cifar10", "svhn", "cifar100"):
+            raise ValueError(
+                f"dataset must be cifar10/svhn/cifar100, got {self.dataset!r}"
+            )
+        if self.num_participants < 1:
+            raise ValueError(
+                f"num_participants must be >= 1, got {self.num_participants}"
+            )
+
+    @property
+    def num_classes(self) -> int:
+        return 20 if self.dataset == "cifar100" else 10
+
+    def supernet_config(self) -> SupernetConfig:
+        return SupernetConfig(
+            num_classes=self.num_classes,
+            init_channels=self.init_channels,
+            num_cells=self.num_cells,
+            steps=self.steps,
+        )
+
+    # ------------------------------------------------------------------
+    # Profiles
+    # ------------------------------------------------------------------
+    @staticmethod
+    def paper(**overrides) -> "ExperimentConfig":
+        """Paper-scale profile: Table I verbatim (heavy; real-HW scale)."""
+        base = dict(
+            batch_size=256,
+            num_participants=10,
+            image_size=32,
+            init_channels=16,
+            num_cells=8,
+            steps=4,
+            warmup_rounds=10000,
+            search_rounds=6000,
+            retrain_epochs=600,
+            fl_retrain_rounds=6000,
+            train_per_class=5000,
+            test_per_class=1000,
+        )
+        base.update(overrides)
+        return ExperimentConfig(**base)
+
+    @staticmethod
+    def small(**overrides) -> "ExperimentConfig":
+        """Simulator-scale profile used by tests/examples/benches."""
+        base = dict(
+            batch_size=16,
+            num_participants=4,
+            image_size=8,
+            init_channels=4,
+            num_cells=2,
+            steps=1,
+            warmup_rounds=10,
+            search_rounds=30,
+            retrain_epochs=6,
+            fl_retrain_rounds=15,
+            train_per_class=12,
+            test_per_class=4,
+        )
+        base.update(overrides)
+        return ExperimentConfig(**base)

@@ -1,0 +1,216 @@
+"""The end-to-end public API: :class:`FederatedModelSearch`.
+
+Wires data generation, partitioning, participants with bandwidth traces,
+the RL controller, the supernet, and the delay-compensated server into
+the paper's four-phase pipeline.  One call to :meth:`run` produces a
+:class:`SearchReport` with the searched genotype, the retrained model,
+its test accuracy, and every intermediate curve.
+
+Example
+-------
+>>> from repro import ExperimentConfig, FederatedModelSearch
+>>> config = ExperimentConfig.small(non_iid=True, seed=1)
+>>> report = FederatedModelSearch(config).run()
+>>> report.genotype            # the searched architecture
+>>> report.test_accuracy       # P4 result
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.controller import ArchitecturePolicy
+from repro.data import (
+    ArrayDataset,
+    dirichlet_partition,
+    iid_partition,
+    synth_cifar10,
+    synth_cifar100,
+    synth_svhn,
+)
+from repro.evaluation import CurveRecorder
+from repro.federated import (
+    DistributionDelay,
+    FederatedSearchServer,
+    HardSync,
+    Participant,
+    RoundResult,
+    SearchServerConfig,
+)
+from repro.network import mixed_traces
+from repro.search_space import Genotype, Supernet
+
+from .config import ExperimentConfig
+from .phases import (
+    evaluate,
+    retrain_centralized,
+    retrain_federated,
+    run_search,
+    run_warmup,
+)
+
+__all__ = ["SearchReport", "FederatedModelSearch"]
+
+_DATASET_BUILDERS = {
+    "cifar10": synth_cifar10,
+    "svhn": synth_svhn,
+    "cifar100": synth_cifar100,
+}
+
+
+@dataclasses.dataclass
+class SearchReport:
+    """Everything one pipeline run produces."""
+
+    genotype: Genotype
+    test_accuracy: float
+    model_parameters: int
+    warmup_results: List[RoundResult]
+    search_results: List[RoundResult]
+    retrain_recorder: CurveRecorder
+    search_recorder: CurveRecorder
+    mean_submodel_bytes: float
+    simulated_search_time_s: float
+
+
+class FederatedModelSearch:
+    """The paper's system behind one constructor and one ``run()``."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.train_set, self.test_set = self._build_dataset()
+        self.shards = self._partition(self.train_set)
+        self.participants = self._build_participants()
+        self.supernet = Supernet(config.supernet_config(), rng=self.rng)
+        self.policy = ArchitecturePolicy(
+            config.supernet_config().num_edges, rng=self.rng
+        )
+        self.server = FederatedSearchServer(
+            self.supernet,
+            self.policy,
+            self.participants,
+            config=self._server_config(),
+            delay_model=self._delay_model(),
+            rng=self.rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _build_dataset(self) -> Tuple[ArrayDataset, ArrayDataset]:
+        builder = _DATASET_BUILDERS[self.config.dataset]
+        return builder(
+            seed=self.config.seed,
+            train_per_class=self.config.train_per_class,
+            test_per_class=self.config.test_per_class,
+            image_size=self.config.image_size,
+        )
+
+    def _partition(self, dataset: ArrayDataset) -> List[ArrayDataset]:
+        if self.config.non_iid:
+            return dirichlet_partition(
+                dataset,
+                self.config.num_participants,
+                alpha=self.config.dirichlet_alpha,
+                rng=self.rng,
+            )
+        return iid_partition(dataset, self.config.num_participants, rng=self.rng)
+
+    def _build_participants(self) -> List[Participant]:
+        traces = None
+        if self.config.mobility_modes:
+            traces = mixed_traces(
+                list(self.config.mobility_modes),
+                self.config.num_participants,
+                rng=self.rng,
+            )
+        participants = []
+        for k, shard in enumerate(self.shards):
+            participants.append(
+                Participant(
+                    k,
+                    shard,
+                    batch_size=min(self.config.batch_size, len(shard)),
+                    trace=traces[k] if traces else None,
+                    rng=np.random.default_rng(self.rng.integers(2**32)),
+                )
+            )
+        return participants
+
+    def _server_config(self) -> SearchServerConfig:
+        c = self.config
+        return SearchServerConfig(
+            theta_lr=c.theta_lr,
+            theta_momentum=c.theta_momentum,
+            theta_weight_decay=c.theta_weight_decay,
+            theta_grad_clip=c.theta_grad_clip,
+            alpha_lr=c.alpha_lr,
+            alpha_weight_decay=c.alpha_weight_decay,
+            alpha_grad_clip=c.alpha_grad_clip,
+            baseline_decay=c.baseline_decay,
+            staleness_threshold=c.staleness_threshold,
+            staleness_policy=c.staleness_policy,
+            compensation_lambda=c.compensation_lambda,
+            transmission_strategy=c.transmission_strategy,
+        )
+
+    def _delay_model(self):
+        if self.config.staleness_mix is None:
+            return HardSync()
+        return DistributionDelay(
+            list(self.config.staleness_mix),
+            staleness_threshold=self.config.staleness_threshold,
+            rng=np.random.default_rng(self.rng.integers(2**32)),
+        )
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def warm_up(self) -> List[RoundResult]:
+        """P1: train θ with α frozen."""
+        return run_warmup(self.server, self.config.warmup_rounds)
+
+    def search(self) -> List[RoundResult]:
+        """P2: the RL search."""
+        return run_search(self.server, self.config.search_rounds)
+
+    def derive(self) -> Genotype:
+        return self.server.derive()
+
+    def retrain(
+        self, genotype: Genotype, mode: str = "federated"
+    ) -> Tuple[Supernet, CurveRecorder]:
+        """P3: retrain the searched architecture from scratch."""
+        if mode == "centralized":
+            return retrain_centralized(
+                genotype, self.config, self.train_set, self.test_set, rng=self.rng
+            )
+        if mode == "federated":
+            return retrain_federated(
+                genotype, self.config, self.shards, self.test_set, rng=self.rng
+            )
+        raise ValueError(f"mode must be 'centralized' or 'federated', got {mode!r}")
+
+    def run(self, retrain_mode: str = "federated") -> SearchReport:
+        """All four phases end to end."""
+        warmup_results = self.warm_up()
+        search_results = self.search()
+        genotype = self.derive()
+        model, retrain_recorder = self.retrain(genotype, mode=retrain_mode)
+        accuracy = evaluate(model, self.test_set)
+        sizes = [r.mean_submodel_bytes for r in search_results] or [0.0]
+        return SearchReport(
+            genotype=genotype,
+            test_accuracy=accuracy,
+            model_parameters=model.num_parameters(),
+            warmup_results=warmup_results,
+            search_results=search_results,
+            retrain_recorder=retrain_recorder,
+            search_recorder=self.server.recorder,
+            mean_submodel_bytes=float(np.mean(sizes)),
+            simulated_search_time_s=self.server.clock_s,
+        )

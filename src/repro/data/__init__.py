@@ -1,0 +1,47 @@
+"""``repro.data`` — synthetic datasets, federated partitioning, augmentation."""
+
+from .loader import DataLoader
+from .partition import (
+    dirichlet_partition,
+    equal_partition,
+    iid_partition,
+    label_distribution,
+    skewness,
+)
+from .synthetic import (
+    ArrayDataset,
+    SyntheticImageSpec,
+    generate_dataset,
+    synth_cifar10,
+    synth_cifar100,
+    synth_svhn,
+)
+from .transforms import (
+    Compose,
+    Cutout,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    standard_augmentation,
+)
+
+__all__ = [
+    "DataLoader",
+    "ArrayDataset",
+    "SyntheticImageSpec",
+    "generate_dataset",
+    "synth_cifar10",
+    "synth_svhn",
+    "synth_cifar100",
+    "dirichlet_partition",
+    "iid_partition",
+    "equal_partition",
+    "label_distribution",
+    "skewness",
+    "Compose",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "Cutout",
+    "Normalize",
+    "standard_augmentation",
+]

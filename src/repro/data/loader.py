@@ -1,0 +1,83 @@
+"""Mini-batch iteration over :class:`~repro.data.synthetic.ArrayDataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .synthetic import ArrayDataset
+from .transforms import Compose
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Batched, optionally shuffled and augmented, dataset iterator.
+
+    Parameters
+    ----------
+    dataset:
+        Source samples.
+    batch_size:
+        Number of samples per batch; the final batch may be smaller unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle sample order at the start of every epoch.
+    transform:
+        Optional per-image augmentation applied at batch assembly time.
+    rng:
+        RNG driving shuffling and augmentation; pass a seeded generator
+        for reproducible epochs.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        transform: Optional[Compose] = None,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if len(dataset) == 0:
+            raise ValueError("cannot iterate an empty dataset")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            images = self.dataset.images[batch]
+            if self.transform is not None:
+                images = np.stack(
+                    [self.transform(image, self.rng) for image in images]
+                )
+            yield images, self.dataset.labels[batch]
+
+    def sample_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw one random batch (the participant-update primitive of
+        Alg. 1, line 39: "Randomly sample a batch")."""
+        size = min(self.batch_size, len(self.dataset))
+        batch = self.rng.choice(len(self.dataset), size=size, replace=False)
+        images = self.dataset.images[batch]
+        if self.transform is not None:
+            images = np.stack([self.transform(image, self.rng) for image in images])
+        return images, self.dataset.labels[batch]

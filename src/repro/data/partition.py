@@ -1,0 +1,112 @@
+"""Dataset partitioning across federated participants.
+
+The paper composes non-i.i.d. datasets following FedNAS: for each class,
+the class's samples are distributed over all participants according to a
+Dirichlet distribution ``Dir(0.5)``.  Smaller concentration parameters
+produce heavier label skew.  An i.i.d. splitter and an exact equal splitter
+(used by the number-of-participants study, Sec. VI-D) are also provided.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .synthetic import ArrayDataset
+
+__all__ = [
+    "dirichlet_partition",
+    "iid_partition",
+    "equal_partition",
+    "label_distribution",
+    "skewness",
+]
+
+
+def dirichlet_partition(
+    dataset: ArrayDataset,
+    num_participants: int,
+    alpha: float = 0.5,
+    rng: np.random.Generator = None,
+    min_samples: int = 1,
+) -> List[ArrayDataset]:
+    """Split ``dataset`` into label-skewed shards via ``Dir(alpha)``.
+
+    For every class, proportions over participants are drawn from a
+    Dirichlet distribution and the class's samples are allotted
+    accordingly.  Re-draws until every participant holds at least
+    ``min_samples`` samples, so no shard is empty.
+    """
+    if num_participants < 1:
+        raise ValueError(f"num_participants must be >= 1, got {num_participants}")
+    if alpha <= 0:
+        raise ValueError(f"Dirichlet alpha must be positive, got {alpha}")
+    rng = rng or np.random.default_rng()
+
+    for _ in range(100):
+        shards: List[List[int]] = [[] for _ in range(num_participants)]
+        for cls in range(dataset.num_classes):
+            class_indices = np.flatnonzero(dataset.labels == cls)
+            rng.shuffle(class_indices)
+            proportions = rng.dirichlet(np.full(num_participants, alpha))
+            # Convert proportions to split points over this class's samples.
+            cuts = (np.cumsum(proportions) * len(class_indices)).astype(int)[:-1]
+            for shard, piece in zip(shards, np.split(class_indices, cuts)):
+                shard.extend(piece.tolist())
+        if all(len(s) >= min_samples for s in shards):
+            return [dataset.subset(np.array(sorted(s))) for s in shards]
+    raise RuntimeError(
+        f"could not produce {num_participants} non-empty shards after 100 draws; "
+        f"dataset too small ({len(dataset)} samples) for alpha={alpha}"
+    )
+
+
+def iid_partition(
+    dataset: ArrayDataset, num_participants: int, rng: np.random.Generator = None
+) -> List[ArrayDataset]:
+    """Shuffle and split into near-equal i.i.d. shards."""
+    if num_participants < 1:
+        raise ValueError(f"num_participants must be >= 1, got {num_participants}")
+    rng = rng or np.random.default_rng()
+    perm = rng.permutation(len(dataset))
+    return [dataset.subset(piece) for piece in np.array_split(perm, num_participants)]
+
+
+def equal_partition(
+    dataset: ArrayDataset, num_participants: int, rng: np.random.Generator = None
+) -> List[ArrayDataset]:
+    """Class-stratified equal split (the Sec. VI-D "equally divide" setting).
+
+    Every participant receives the same number of samples of every class
+    (up to remainder truncation), so shards are exchangeable.
+    """
+    if num_participants < 1:
+        raise ValueError(f"num_participants must be >= 1, got {num_participants}")
+    rng = rng or np.random.default_rng()
+    shards: List[List[int]] = [[] for _ in range(num_participants)]
+    for cls in range(dataset.num_classes):
+        class_indices = np.flatnonzero(dataset.labels == cls)
+        rng.shuffle(class_indices)
+        per = len(class_indices) // num_participants
+        for k in range(num_participants):
+            shards[k].extend(class_indices[k * per : (k + 1) * per].tolist())
+    return [dataset.subset(np.array(sorted(s))) for s in shards]
+
+
+def label_distribution(shards: List[ArrayDataset]) -> np.ndarray:
+    """Matrix of per-shard class proportions, shape (K, num_classes)."""
+    rows = []
+    for shard in shards:
+        counts = shard.class_counts().astype(float)
+        rows.append(counts / max(counts.sum(), 1.0))
+    return np.array(rows)
+
+
+def skewness(shards: List[ArrayDataset]) -> float:
+    """Mean total-variation distance between shard label distributions and
+    the global label distribution.  0 for perfectly i.i.d. shards."""
+    dist = label_distribution(shards)
+    sizes = np.array([len(s) for s in shards], dtype=float)
+    overall = (dist * sizes[:, None]).sum(axis=0) / sizes.sum()
+    return float(np.mean(np.abs(dist - overall).sum(axis=1) / 2.0))

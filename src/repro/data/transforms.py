@@ -1,0 +1,122 @@
+"""Data augmentation matching the paper's training recipe (Table I).
+
+The paper applies cutout (length 16), random crop with 4-pixel padding
+("random clip 4"), and random horizontal flips with probability 0.5.
+Lengths scale with image size; the defaults here assume the 16x16 synthetic
+images, i.e. half the paper's CIFAR resolution and half its cutout length.
+
+All transforms operate on single CHW arrays and take an explicit RNG so
+augmentation is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "Cutout",
+    "Normalize",
+    "standard_augmentation",
+]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image, rng)
+        return image
+
+
+class RandomCrop:
+    """Zero-pad by ``padding`` pixels then crop back to the original size."""
+
+    def __init__(self, padding: int = 2):
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = padding
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return image
+        c, h, w = image.shape
+        padded = np.pad(
+            image, [(0, 0), (self.padding, self.padding), (self.padding, self.padding)]
+        )
+        top = rng.integers(0, 2 * self.padding + 1)
+        left = rng.integers(0, 2 * self.padding + 1)
+        return padded[:, top : top + h, left : left + w]
+
+
+class RandomHorizontalFlip:
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"flip probability must be in [0, 1], got {p}")
+        self.p = p
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class Cutout:
+    """Zero out a random ``length`` x ``length`` square (DeVries & Taylor)."""
+
+    def __init__(self, length: int = 8):
+        if length < 0:
+            raise ValueError(f"cutout length must be non-negative, got {length}")
+        self.length = length
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.length == 0:
+            return image
+        c, h, w = image.shape
+        cy = int(rng.integers(0, h))
+        cx = int(rng.integers(0, w))
+        half = self.length // 2
+        y0, y1 = max(0, cy - half), min(h, cy + half)
+        x0, x1 = max(0, cx - half), min(w, cx + half)
+        out = image.copy()
+        out[:, y0:y1, x0:x1] = 0.0
+        return out
+
+
+class Normalize:
+    """Standardise with per-channel mean/std."""
+
+    def __init__(self, mean: np.ndarray, std: np.ndarray):
+        self.mean = np.asarray(mean, dtype=float).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=float).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std must be strictly positive")
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator = None) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+
+def standard_augmentation(image_size: int = 16) -> Compose:
+    """The paper's augmentation pipeline scaled to ``image_size``.
+
+    Crop padding and cutout length scale proportionally from the paper's
+    32-pixel CIFAR values (pad 4, cutout 16).
+    """
+    scale = image_size / 32.0
+    return Compose(
+        [
+            RandomCrop(padding=max(1, int(round(4 * scale)))),
+            RandomHorizontalFlip(0.5),
+            Cutout(length=max(2, int(round(16 * scale)))),
+        ]
+    )

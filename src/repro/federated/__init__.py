@@ -1,0 +1,39 @@
+"""``repro.federated`` — the federated model-search system (Secs. IV-V)."""
+
+from .compensation import compensate_alpha_gradient, compensate_weight_gradients
+from .fedavg import FedAvgConfig, FedAvgTrainer
+from .memory import MemoryPools
+from .participant import (
+    GTX_1080TI,
+    JETSON_TX2,
+    DeviceProfile,
+    Participant,
+    ParticipantUpdate,
+)
+from .server import FederatedSearchServer, RoundResult, SearchServerConfig
+from .synchronization import (
+    DistributionDelay,
+    HardSync,
+    LatencyDrivenDelay,
+    RoundDelays,
+)
+
+__all__ = [
+    "compensate_alpha_gradient",
+    "compensate_weight_gradients",
+    "FedAvgConfig",
+    "FedAvgTrainer",
+    "MemoryPools",
+    "DeviceProfile",
+    "GTX_1080TI",
+    "JETSON_TX2",
+    "Participant",
+    "ParticipantUpdate",
+    "FederatedSearchServer",
+    "RoundResult",
+    "SearchServerConfig",
+    "DistributionDelay",
+    "HardSync",
+    "LatencyDrivenDelay",
+    "RoundDelays",
+]

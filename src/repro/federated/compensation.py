@@ -1,0 +1,73 @@
+"""Delay compensation for stale updates (Sec. V-A, Eq. 13 and Eq. 15).
+
+Both repairs follow DC-ASGD's second-order idea: approximate the fresh
+gradient by a first-order Taylor expansion of the gradient around the
+stale point, with the Hessian approximated by the (outer product of the)
+gradient itself — ``H ≈ λ · g ⊙ g`` elementwise:
+
+* weights (Eq. 13):
+  ``h(w_{t+τ}) ≈ h(w_t) + λ · h(w_t) ⊙ h(w_t) ⊙ (w_{t+τ} − w_t)``
+* architecture parameters (Eq. 15):
+  ``∇log p_{t+τ} ≈ ∇log p_t + λ · ∇log p_t ⊙ ∇log p_t ⊙ (α_{t+τ} − α_t)``
+
+The weight variant operates on named sub-model gradient dictionaries; the
+alpha variant on the ``(2, E, N)`` log-probability gradient array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["compensate_weight_gradients", "compensate_alpha_gradient"]
+
+
+def compensate_weight_gradients(
+    stale_gradients: Dict[str, np.ndarray],
+    fresh_weights: Dict[str, np.ndarray],
+    stale_weights: Dict[str, np.ndarray],
+    lam: float,
+) -> Dict[str, np.ndarray]:
+    """Repair a stale sub-model gradient dict toward fresh weights (Eq. 13).
+
+    Parameters
+    ----------
+    stale_gradients:
+        ``h(w_t^t)`` as returned by the straggler, keyed by parameter name.
+    fresh_weights:
+        ``w_{t+τ}^t`` — the *current* supernet pruned by the *stale* mask.
+    stale_weights:
+        ``w_t^t`` — the memory-pool supernet of round ``t`` pruned by the
+        same mask.
+    lam:
+        Compensation strength λ; 0 reduces to using the stale gradient
+        verbatim.
+    """
+    if lam < 0:
+        raise ValueError(f"lambda must be non-negative, got {lam}")
+    compensated: Dict[str, np.ndarray] = {}
+    for name, grad in stale_gradients.items():
+        if name not in fresh_weights or name not in stale_weights:
+            raise KeyError(f"weight snapshots missing parameter {name!r}")
+        drift = fresh_weights[name] - stale_weights[name]
+        compensated[name] = grad + lam * grad * grad * drift
+    return compensated
+
+
+def compensate_alpha_gradient(
+    stale_grad_log_prob: np.ndarray,
+    fresh_alpha: np.ndarray,
+    stale_alpha: np.ndarray,
+    lam: float,
+) -> np.ndarray:
+    """Repair a stale ``∇_α log p(g)`` toward the current ``α`` (Eq. 15)."""
+    if lam < 0:
+        raise ValueError(f"lambda must be non-negative, got {lam}")
+    grad = np.asarray(stale_grad_log_prob, dtype=float)
+    drift = np.asarray(fresh_alpha, dtype=float) - np.asarray(stale_alpha, dtype=float)
+    if grad.shape != drift.shape:
+        raise ValueError(
+            f"gradient shape {grad.shape} does not match alpha drift {drift.shape}"
+        )
+    return grad + lam * grad * grad * drift

@@ -1,0 +1,93 @@
+"""Staleness memory pools Θ, 𝔸, 𝔾 (Alg. 1 lines 4, 7, 25, 34-35).
+
+The server snapshots the supernet weights, the architecture parameters,
+and each participant's sampled binary mask at the start of every round.
+When a straggler's update arrives ``τ`` rounds late, the pools supply the
+stale ``θ^{t'}``, ``α^{t'}``, and ``g^{t'}`` the update was computed
+against, which the delay-compensation equations need.  Entries older than
+the staleness threshold ``Δ`` are evicted — their updates would be thrown
+away anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn import clone_state
+from repro.search_space import ArchitectureMask
+
+__all__ = ["MemoryPools"]
+
+
+class MemoryPools:
+    """Bounded per-round snapshots of ``θ``, ``α``, and masks ``g``."""
+
+    def __init__(self, staleness_threshold: int):
+        if staleness_threshold < 0:
+            raise ValueError(
+                f"staleness threshold must be >= 0, got {staleness_threshold}"
+            )
+        self.staleness_threshold = staleness_threshold
+        self._theta: Dict[int, Dict[str, np.ndarray]] = {}
+        self._alpha: Dict[int, np.ndarray] = {}
+        self._masks: Dict[int, Dict[int, ArchitectureMask]] = {}
+
+    # ------------------------------------------------------------------
+    # Saving (Alg. 1 lines 4, 7)
+    # ------------------------------------------------------------------
+    def save_round(
+        self, round_t: int, theta: Dict[str, np.ndarray], alpha: np.ndarray
+    ) -> None:
+        self._theta[round_t] = clone_state(theta)
+        self._alpha[round_t] = np.array(alpha, copy=True)
+        self._masks.setdefault(round_t, {})
+
+    def save_mask(self, round_t: int, participant: int, mask: ArchitectureMask) -> None:
+        self._masks.setdefault(round_t, {})[participant] = mask
+
+    # ------------------------------------------------------------------
+    # Retrieval (Alg. 1 line 25)
+    # ------------------------------------------------------------------
+    def theta(self, round_t: int) -> Dict[str, np.ndarray]:
+        return self._require(self._theta, round_t, "θ")
+
+    def alpha(self, round_t: int) -> np.ndarray:
+        return self._require(self._alpha, round_t, "α")
+
+    def mask(self, round_t: int, participant: int) -> ArchitectureMask:
+        masks = self._require(self._masks, round_t, "g")
+        if participant not in masks:
+            raise KeyError(
+                f"no mask saved for participant {participant} at round {round_t}"
+            )
+        return masks[participant]
+
+    def has_round(self, round_t: int) -> bool:
+        return round_t in self._theta
+
+    # ------------------------------------------------------------------
+    # Eviction (Alg. 1 lines 34-35)
+    # ------------------------------------------------------------------
+    def evict_older_than(self, round_t: int) -> int:
+        """Drop snapshots from rounds < ``round_t − Δ``; returns count."""
+        horizon = round_t - self.staleness_threshold
+        stale_rounds = [r for r in self._theta if r < horizon]
+        for r in stale_rounds:
+            self._theta.pop(r, None)
+            self._alpha.pop(r, None)
+            self._masks.pop(r, None)
+        return len(stale_rounds)
+
+    def __len__(self) -> int:
+        return len(self._theta)
+
+    @staticmethod
+    def _require(pool: Dict, round_t: int, what: str):
+        if round_t not in pool:
+            raise KeyError(
+                f"{what} for round {round_t} not in memory "
+                f"(evicted or never saved); available: {sorted(pool)}"
+            )
+        return pool[round_t]

@@ -1,0 +1,159 @@
+"""Federated participants: local training of received sub-models.
+
+The participant-side algorithm (Alg. 1 lines 37-42) is deliberately tiny:
+receive a sub-model, sample one local mini-batch, run one forward/backward
+pass, return the weight gradients and the training-accuracy reward —
+both obtained from the same backward propagation.
+
+Participants also carry a :class:`DeviceProfile` (how fast they compute)
+and a bandwidth trace (how fast they communicate), which the simulator
+uses to produce realistic round timings (Table V, Fig. 7).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+import repro.nn as nn
+from repro.data import ArrayDataset, Compose, DataLoader
+from repro.evaluation import batch_accuracy
+from repro.network import BandwidthTrace
+from repro.search_space import Supernet
+
+__all__ = [
+    "DeviceProfile",
+    "GTX_1080TI",
+    "JETSON_TX2",
+    "ParticipantUpdate",
+    "Participant",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceProfile:
+    """Compute-speed model: seconds per (parameter x sample) trained.
+
+    Calibrated so a round on the paper's hardware scale reproduces the
+    Table V ordering: a GTX 1080 Ti finishes the search in < 2.5 h while
+    a Jetson TX2 needs < 10 h — a factor-4 speed gap.
+    """
+
+    name: str
+    seconds_per_param_sample: float
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_param_sample <= 0:
+            raise ValueError("seconds_per_param_sample must be positive")
+
+    def train_time(self, num_parameters: int, batch_size: int) -> float:
+        """Wall-clock seconds for one local forward/backward pass."""
+        return self.seconds_per_param_sample * num_parameters * batch_size
+
+
+#: One 1080 Ti training step on a ~0.27 MB sub-model (~67.5k params) with
+#: batch 256 takes ~0.35 s (matches < 2.5 h for 10k search + 10k warm-up
+#: steps, Table V).
+GTX_1080TI = DeviceProfile("gtx-1080ti", seconds_per_param_sample=2.0e-8)
+
+#: The TX2 is ~4x slower, matching the < 10 h Table V row.
+JETSON_TX2 = DeviceProfile("jetson-tx2", seconds_per_param_sample=8.0e-8)
+
+
+@dataclasses.dataclass
+class ParticipantUpdate:
+    """What a participant returns to the server (Alg. 1 line 42).
+
+    ``buffers`` carries the sub-model's non-trainable state (batch-norm
+    running statistics) after the local step, so the server can keep the
+    supernet's buffers fresh for evaluation — a detail the paper leaves
+    implicit but any deployment needs.
+    """
+
+    participant_id: int
+    gradients: Dict[str, np.ndarray]
+    reward: float
+    num_samples: int
+    compute_time_s: float
+    buffers: Dict[str, np.ndarray] = dataclasses.field(default_factory=dict)
+
+
+class Participant:
+    """One federated device with a local data shard.
+
+    Parameters
+    ----------
+    participant_id:
+        Stable identifier used for mask bookkeeping.
+    dataset:
+        The local (typically non-i.i.d.) shard; never leaves the device.
+    batch_size:
+        Local mini-batch size (Table I: 256; scaled down in practice).
+    transform:
+        Optional augmentation applied when sampling batches.
+    device:
+        Compute-speed profile for timing simulation.
+    trace:
+        Bandwidth trace for transmission simulation (optional; the
+        scheduler may also work with plain bandwidth numbers).
+    """
+
+    def __init__(
+        self,
+        participant_id: int,
+        dataset: ArrayDataset,
+        batch_size: int,
+        transform: Optional[Compose] = None,
+        device: DeviceProfile = GTX_1080TI,
+        trace: Optional[BandwidthTrace] = None,
+        availability: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not 0.0 <= availability <= 1.0:
+            raise ValueError(f"availability must be in [0, 1], got {availability}")
+        self.participant_id = participant_id
+        self.dataset = dataset
+        self.device = device
+        self.trace = trace
+        #: probability of being online (reachable) in any given round; the
+        #: paper's motivating failure mode is a participant "losing
+        #: connection with the server" — availability < 1 models that.
+        self.availability = availability
+        self.rng = rng or np.random.default_rng()
+        self.loader = DataLoader(
+            dataset, batch_size=batch_size, transform=transform, rng=self.rng
+        )
+
+    def local_update(self, submodel: Supernet) -> ParticipantUpdate:
+        """Train the received sub-model on one local batch (Alg. 1 37-42).
+
+        Both the weight gradients and the reward (training accuracy, the
+        ``ACC`` of Eq. 8) come from the same forward/backward pass.
+        """
+        x, y = self.loader.sample_batch()
+        submodel.train()
+        submodel.zero_grad()
+        logits = submodel(x)
+        loss = nn.functional.cross_entropy(logits, y)
+        loss.backward()
+        gradients = {
+            name: param.grad.copy()
+            for name, param in submodel.named_parameters()
+            if param.grad is not None
+        }
+        buffers = {name: np.array(value, copy=True) for name, value in submodel.named_buffers()}
+        reward = batch_accuracy(logits, y)
+        compute_time = self.device.train_time(submodel.num_parameters(), len(y))
+        return ParticipantUpdate(
+            participant_id=self.participant_id,
+            gradients=gradients,
+            reward=reward,
+            num_samples=len(y),
+            compute_time_s=compute_time,
+            buffers=buffers,
+        )
+
+    def num_samples(self) -> int:
+        return len(self.dataset)

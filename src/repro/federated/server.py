@@ -1,0 +1,445 @@
+"""The federated model-search server (Alg. 1, server side).
+
+Each round the server:
+
+1. snapshots ``θ`` and ``α`` into the staleness memory pools,
+2. samples one architecture mask per participant from the policy (Eq. 4-5),
+3. prunes the supernet into sub-models and dispatches them, matching
+   sub-model sizes to participant bandwidths (adaptive transmission),
+4. collects the updates that arrive this round — fresh ones directly,
+   stale ones repaired by delay compensation (Eq. 13, 15) or handled by
+   the configured fallback ("use" / "throw"),
+5. averages the weight gradients (unsampled operations get zeros), steps
+   the supernet optimizer, and applies the REINFORCE step to ``α``.
+
+Hard synchronisation, explicit staleness mixes, and latency-driven soft
+synchronisation are all expressed through the pluggable delay model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.nn as nn
+from repro.controller import (
+    AlphaOptimizer,
+    ArchitecturePolicy,
+    MovingAverageBaseline,
+    ReinforceEstimator,
+)
+from repro.controller.policy import softmax_rows
+from repro.evaluation import CurveRecorder
+from repro.network import BandwidthTrace, round_transmission
+from repro.nn import state_size_bytes
+from repro.search_space import ArchitectureMask, Genotype, Supernet, derive_genotype
+
+from .compensation import compensate_alpha_gradient, compensate_weight_gradients
+from .memory import MemoryPools
+from .participant import Participant, ParticipantUpdate
+from .synchronization import HardSync
+
+__all__ = ["SearchServerConfig", "RoundResult", "FederatedSearchServer"]
+
+STALENESS_POLICIES = ("compensate", "use", "throw")
+
+
+@dataclasses.dataclass
+class SearchServerConfig:
+    """Server hyperparameters; defaults follow Table I."""
+
+    theta_lr: float = 0.025
+    theta_momentum: float = 0.9
+    theta_weight_decay: float = 3e-4
+    theta_grad_clip: float = 5.0
+    alpha_lr: float = 0.003
+    alpha_weight_decay: float = 1e-4
+    alpha_grad_clip: float = 5.0
+    baseline_decay: float = 0.99
+    staleness_threshold: int = 2
+    staleness_policy: str = "compensate"
+    compensation_lambda: float = 0.5
+    transmission_strategy: str = "adaptive"
+    update_theta: bool = True
+    update_alpha: bool = True
+    #: fold participants' batch-norm running statistics back into the
+    #: supernet (keeps eval-mode evaluation of sampled architectures
+    #: meaningful during the search)
+    aggregate_bn_stats: bool = True
+
+    def __post_init__(self) -> None:
+        if self.staleness_policy not in STALENESS_POLICIES:
+            raise ValueError(
+                f"staleness_policy must be one of {STALENESS_POLICIES}, "
+                f"got {self.staleness_policy!r}"
+            )
+        if self.compensation_lambda < 0:
+            raise ValueError("compensation_lambda must be non-negative")
+
+
+@dataclasses.dataclass
+class RoundResult:
+    """Diagnostics of one server round."""
+
+    round_index: int
+    mean_reward: float
+    num_fresh: int
+    num_stale_used: int
+    num_dropped: int
+    round_duration_s: float
+    max_transmission_latency_s: float
+    mean_submodel_bytes: float
+    policy_entropy: float
+    #: dispersion of participant rewards this round (the Fig. 12 error bars)
+    reward_std: float = float("nan")
+    #: participants unreachable this round (availability model)
+    num_offline: int = 0
+
+
+@dataclasses.dataclass
+class _PendingUpdate:
+    origin_round: int
+    delivery_round: int
+    mask: ArchitectureMask
+    update: ParticipantUpdate
+
+
+class FederatedSearchServer:
+    """Coordinates policy, supernet, participants, and synchronisation."""
+
+    def __init__(
+        self,
+        supernet: Supernet,
+        policy: ArchitecturePolicy,
+        participants: Sequence[Participant],
+        config: Optional[SearchServerConfig] = None,
+        delay_model=None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not participants:
+            raise ValueError("at least one participant required")
+        if policy.num_edges != supernet.config.num_edges:
+            raise ValueError(
+                f"policy has {policy.num_edges} edges, supernet expects "
+                f"{supernet.config.num_edges}"
+            )
+        self.supernet = supernet
+        self.policy = policy
+        self.participants = list(participants)
+        self.config = config or SearchServerConfig()
+        self.delay_model = delay_model or HardSync()
+        self.rng = rng or np.random.default_rng()
+
+        self.theta_optimizer = nn.SGD(
+            supernet.parameters(),
+            lr=self.config.theta_lr,
+            momentum=self.config.theta_momentum,
+            weight_decay=self.config.theta_weight_decay,
+        )
+        self.alpha_optimizer = AlphaOptimizer(
+            policy,
+            lr=self.config.alpha_lr,
+            weight_decay=self.config.alpha_weight_decay,
+            grad_clip=self.config.alpha_grad_clip,
+        )
+        self.baseline = MovingAverageBaseline(decay=self.config.baseline_decay)
+        self.pools = MemoryPools(self.config.staleness_threshold)
+        self.recorder = CurveRecorder()
+        self.round = 0
+        self.clock_s = 0.0
+        self._pending: List[_PendingUpdate] = []
+        self._param_names = [name for name, _ in supernet.named_parameters()]
+
+    # ------------------------------------------------------------------
+    # The round loop (Alg. 1 lines 3-36)
+    # ------------------------------------------------------------------
+    def run_round(self) -> RoundResult:
+        t = self.round
+        self.pools.save_round(t, self._theta_state(), self.policy.alpha)
+
+        online = self._sample_online()
+        max_latency = 0.0
+        mean_size = 0.0
+        round_duration = 0.0
+        if online:
+            masks, sizes = self._sample_submodels(len(online))
+            assignment, max_latency = self._assign(sizes, online)
+
+            compute_times = np.zeros(len(online))
+            for slot, k in enumerate(online):
+                mask = masks[assignment[slot]]
+                self.pools.save_mask(t, k, mask)
+                submodel = self.supernet.extract_submodel(mask, rng=self.rng)
+                update = self.participants[k].local_update(submodel)
+                compute_times[slot] = update.compute_time_s
+                self._pending.append(
+                    _PendingUpdate(
+                        origin_round=t, delivery_round=-1, mask=mask, update=update
+                    )
+                )
+
+            delays = self.delay_model.delays(
+                [sizes[assignment[slot]] for slot in range(len(online))],
+                compute_times,
+                start_time_s=self.clock_s,
+                participant_indices=online,
+            )
+            new_items = self._pending[-len(online):]
+            for item, tau in zip(new_items, delays.taus):
+                item.delivery_round = t + int(tau)
+            mean_size = float(np.mean(sizes))
+            round_duration = delays.round_duration_s
+
+        result = self._apply_arrivals(
+            t, max_latency, mean_size, round_duration, len(self.participants) - len(online)
+        )
+        self.pools.evict_older_than(t)
+        self.clock_s += round_duration
+        self.round += 1
+        return result
+
+    def _sample_online(self) -> List[int]:
+        """Which participants are reachable this round.
+
+        Models the paper's motivating failure ("a participant loses
+        connection with the server"): each participant is online with its
+        configured availability.  With soft synchronisation the search
+        proceeds regardless; a blocking implementation would hang here.
+        """
+        online = []
+        for k, participant in enumerate(self.participants):
+            if participant.availability >= 1.0 or self.rng.random() < participant.availability:
+                online.append(k)
+        return online
+
+    def run(self, rounds: int) -> List[RoundResult]:
+        """Convenience loop; returns per-round diagnostics."""
+        return [self.run_round() for _ in range(rounds)]
+
+    def derive(self) -> Genotype:
+        """Decode the current policy into the searched architecture."""
+        return derive_genotype(self.policy.alpha)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sample_submodels(
+        self, count: int
+    ) -> Tuple[List[ArchitectureMask], List[float]]:
+        masks = [self.policy.sample_mask() for _ in range(count)]
+        sizes = [
+            float(state_size_bytes(self.supernet.submodel_state(mask)))
+            for mask in masks
+        ]
+        return masks, sizes
+
+    def _assign(
+        self, sizes: Sequence[float], online: Sequence[int]
+    ) -> Tuple[np.ndarray, float]:
+        traces = [self.participants[k].trace for k in online]
+        if any(trace is None for trace in traces):
+            return np.arange(len(online)), 0.0
+        report = round_transmission(
+            sizes,
+            traces,
+            strategy=self.config.transmission_strategy,
+            start_time=self.clock_s,
+            rng=self.rng,
+        )
+        return report.assignment, report.max_latency_s
+
+    def _theta_state(self) -> Dict[str, np.ndarray]:
+        return {name: p.data for name, p in self.supernet.named_parameters()}
+
+    def _apply_arrivals(
+        self,
+        t: int,
+        max_latency: float,
+        mean_size: float,
+        round_duration: float,
+        num_offline: int = 0,
+    ) -> RoundResult:
+        arrivals = [p for p in self._pending if p.delivery_round == t]
+        self._pending = [p for p in self._pending if p.delivery_round > t]
+
+        estimator = ReinforceEstimator(self.policy)
+        grad_sum: Dict[str, np.ndarray] = {}
+        used_updates: List[ParticipantUpdate] = []
+        rewards: List[float] = []
+        num_fresh = num_stale = num_dropped = 0
+        used = 0
+
+        for item in arrivals:
+            tau = t - item.origin_round
+            if tau == 0:
+                self._accumulate_fresh(item, estimator, grad_sum)
+                rewards.append(item.update.reward)
+                used_updates.append(item.update)
+                num_fresh += 1
+                used += 1
+            elif tau > self.config.staleness_threshold or (
+                self.config.staleness_policy == "throw"
+            ):
+                num_dropped += 1
+            elif not self.pools.has_round(item.origin_round):
+                num_dropped += 1
+            else:
+                self._accumulate_stale(item, tau, estimator, grad_sum)
+                rewards.append(item.update.reward)
+                used_updates.append(item.update)
+                num_stale += 1
+                used += 1
+
+        if used and self.config.update_theta:
+            self._step_theta(grad_sum, used)
+        if used and self.config.aggregate_bn_stats:
+            self._aggregate_buffers(used_updates)
+        if used and self.config.update_alpha:
+            self.alpha_optimizer.step(estimator.gradient())
+        if rewards:
+            self.baseline.update(rewards)
+
+        mean_reward = float(np.mean(rewards)) if rewards else float("nan")
+        reward_std = float(np.std(rewards)) if rewards else float("nan")
+        self.recorder.record("train_accuracy", mean_reward if rewards else 0.0)
+        self.recorder.record("train_accuracy_std", reward_std if rewards else 0.0)
+        self.recorder.record("round_duration_s", round_duration)
+        self.recorder.record("max_transmission_latency_s", max_latency)
+        self.recorder.record("policy_entropy", self.policy.entropy())
+        self._record_operation_preferences()
+        return RoundResult(
+            round_index=t,
+            mean_reward=mean_reward,
+            num_fresh=num_fresh,
+            num_stale_used=num_stale,
+            num_dropped=num_dropped,
+            round_duration_s=round_duration,
+            max_transmission_latency_s=max_latency,
+            mean_submodel_bytes=mean_size,
+            policy_entropy=self.policy.entropy(),
+            reward_std=reward_std,
+            num_offline=num_offline,
+        )
+
+    def _accumulate_fresh(
+        self,
+        item: _PendingUpdate,
+        estimator: ReinforceEstimator,
+        grad_sum: Dict[str, np.ndarray],
+    ) -> None:
+        self._add_gradients(grad_sum, item.update.gradients)
+        advantage = self.baseline.advantage(item.update.reward)
+        estimator.add(item.mask, advantage)
+
+    def _accumulate_stale(
+        self,
+        item: _PendingUpdate,
+        tau: int,
+        estimator: ReinforceEstimator,
+        grad_sum: Dict[str, np.ndarray],
+    ) -> None:
+        stale_round = item.origin_round
+        stale_alpha = self.pools.alpha(stale_round)
+        advantage = self.baseline.advantage(item.update.reward)
+        # ∇ log p(g^{t'}) under the stale α (what the straggler sampled).
+        onehot = item.mask.as_onehot()
+        stale_grad_logp = onehot - softmax_rows(stale_alpha)
+
+        if self.config.staleness_policy == "use":
+            estimator.add_gradient_term(advantage * stale_grad_logp)
+            self._add_gradients(grad_sum, item.update.gradients)
+            return
+
+        # Delay-compensated path (Alg. 1 lines 25-28).
+        lam = self.config.compensation_lambda
+        repaired_logp = compensate_alpha_gradient(
+            stale_grad_logp, self.policy.alpha, stale_alpha, lam
+        )
+        estimator.add_gradient_term(advantage * repaired_logp)
+
+        stale_theta = self.pools.theta(stale_round)
+        fresh_theta = self._theta_state()
+        names = list(item.update.gradients)
+        repaired = compensate_weight_gradients(
+            item.update.gradients,
+            {name: fresh_theta[name] for name in names},
+            {name: stale_theta[name] for name in names},
+            lam,
+        )
+        self._add_gradients(grad_sum, repaired)
+
+    @staticmethod
+    def _add_gradients(
+        grad_sum: Dict[str, np.ndarray], gradients: Dict[str, np.ndarray]
+    ) -> None:
+        for name, grad in gradients.items():
+            if name in grad_sum:
+                grad_sum[name] = grad_sum[name] + grad
+            else:
+                grad_sum[name] = np.array(grad, copy=True)
+
+    def _record_operation_preferences(self) -> None:
+        """Track which operations the policy currently prefers.
+
+        One series per candidate operation: the fraction of edges (over
+        both cell types) whose argmax is that operation.  Useful for
+        diagnosing collapse (e.g. ``none``/skip dominance) during long
+        searches.
+        """
+        from repro.search_space import PRIMITIVES
+
+        modes = self.policy.probabilities().argmax(axis=-1)
+        for index, name in enumerate(PRIMITIVES):
+            self.recorder.record(
+                f"op_preference/{name}", float(np.mean(modes == index))
+            )
+
+    def _aggregate_buffers(self, updates: Sequence[ParticipantUpdate]) -> None:
+        """Average participants' BN running stats back into the supernet.
+
+        Only buffers present in at least one update move; buffers of
+        never-sampled operations keep their previous values.
+        """
+        sums: Dict[str, np.ndarray] = {}
+        counts: Dict[str, int] = {}
+        for update in updates:
+            for name, value in update.buffers.items():
+                if name in sums:
+                    sums[name] = sums[name] + value
+                    counts[name] += 1
+                else:
+                    sums[name] = np.array(value, copy=True)
+                    counts[name] = 1
+        owners = self.supernet._named_buffer_owners()
+        for name, total in sums.items():
+            if name in owners:
+                module, local = owners[name]
+                module._set_buffer(local, total / counts[name])
+
+    def evaluate_architecture(
+        self, dataset, mask: Optional[ArchitectureMask] = None, batch_size: int = 64
+    ) -> float:
+        """Eval-mode accuracy of an architecture under the current supernet.
+
+        Defaults to the policy's most likely architecture.  Meaningful
+        batch-norm statistics require ``aggregate_bn_stats`` (on by
+        default); with it off, buffers stay at initialisation and this
+        returns near-chance accuracy.
+        """
+        from repro.evaluation import evaluate_accuracy
+
+        mask = mask or self.policy.mode_mask()
+        submodel = self.supernet.extract_submodel(mask, rng=self.rng)
+        return evaluate_accuracy(submodel, dataset, batch_size=batch_size)
+
+    def _step_theta(self, grad_sum: Dict[str, np.ndarray], count: int) -> None:
+        """Average accumulated gradients (zeros for unsampled ops), clip,
+        and step the supernet optimizer."""
+        self.theta_optimizer.zero_grad()
+        for name, param in self.supernet.named_parameters():
+            if name in grad_sum:
+                param.grad = grad_sum[name] / count
+        nn.clip_grad_norm(self.supernet.parameters(), self.config.theta_grad_clip)
+        self.theta_optimizer.step()

@@ -1,0 +1,29 @@
+"""``repro.network`` — bandwidth traces and transmission scheduling."""
+
+from .traces import (
+    MOBILITY_MODES,
+    BandwidthTrace,
+    TraceSpec,
+    generate_trace,
+    mixed_traces,
+)
+from .transmission import (
+    STRATEGIES,
+    TransmissionReport,
+    assign_adaptive,
+    assign_random,
+    round_transmission,
+)
+
+__all__ = [
+    "MOBILITY_MODES",
+    "BandwidthTrace",
+    "TraceSpec",
+    "generate_trace",
+    "mixed_traces",
+    "STRATEGIES",
+    "TransmissionReport",
+    "assign_adaptive",
+    "assign_random",
+    "round_transmission",
+]

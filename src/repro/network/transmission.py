@@ -1,0 +1,123 @@
+"""Sub-model-to-participant assignment strategies (Sec. IV-B, Fig. 7).
+
+Sub-models sampled in a round differ in size (convolutions are orders of
+magnitude heavier than pooling or skip edges), and participants differ in
+bandwidth.  The paper's *adaptive transmission* sorts both and matches the
+largest sub-model to the fastest link, minimising the round's maximum
+transmission latency.  Two baselines are implemented for Fig. 7:
+
+* ``average`` — every participant receives an average-sized model, the
+  convention of FedNAS/DP-FNAS/EvoFedNAS where all participants get the
+  same payload;
+* ``random`` — sub-models shuffled onto participants blindly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .traces import BandwidthTrace
+
+__all__ = [
+    "assign_adaptive",
+    "assign_random",
+    "TransmissionReport",
+    "round_transmission",
+    "STRATEGIES",
+]
+
+
+def assign_adaptive(
+    sizes_bytes: Sequence[float], bandwidths_mbps: Sequence[float]
+) -> np.ndarray:
+    """Largest payload to fastest link (Alg. 1 lines 10-11).
+
+    Returns ``assignment`` with ``assignment[participant] = model_index``.
+    """
+    sizes = np.asarray(sizes_bytes, dtype=float)
+    bandwidths = np.asarray(bandwidths_mbps, dtype=float)
+    if len(sizes) != len(bandwidths):
+        raise ValueError(
+            f"{len(sizes)} models vs {len(bandwidths)} participants"
+        )
+    # Descending model size matched with descending bandwidth.
+    model_order = np.argsort(-sizes)
+    participant_order = np.argsort(-bandwidths)
+    assignment = np.empty(len(sizes), dtype=int)
+    assignment[participant_order] = model_order
+    return assignment
+
+
+def assign_random(
+    sizes_bytes: Sequence[float],
+    bandwidths_mbps: Sequence[float],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Uniformly random assignment (the "random" baseline of Fig. 7)."""
+    sizes = np.asarray(sizes_bytes, dtype=float)
+    if len(sizes) != len(bandwidths_mbps):
+        raise ValueError(
+            f"{len(sizes)} models vs {len(bandwidths_mbps)} participants"
+        )
+    rng = rng or np.random.default_rng()
+    return rng.permutation(len(sizes))
+
+
+@dataclasses.dataclass(frozen=True)
+class TransmissionReport:
+    """Latency outcome of dispatching one round of sub-models."""
+
+    latencies_s: np.ndarray
+    assignment: np.ndarray
+
+    @property
+    def max_latency_s(self) -> float:
+        return float(self.latencies_s.max())
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(self.latencies_s.mean())
+
+
+STRATEGIES = ("adaptive", "average", "random")
+
+
+def round_transmission(
+    sizes_bytes: Sequence[float],
+    traces: Sequence[BandwidthTrace],
+    strategy: str = "adaptive",
+    start_time: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> TransmissionReport:
+    """Latencies of sending one round of sub-models under ``strategy``.
+
+    ``average`` replaces every payload by the round's mean size, modelling
+    schemes that ship identical models to everyone.
+    """
+    sizes = np.asarray(sizes_bytes, dtype=float)
+    if len(sizes) != len(traces):
+        raise ValueError(f"{len(sizes)} models vs {len(traces)} traces")
+    bandwidths = np.array([t.bandwidth_at(start_time) for t in traces])
+
+    if strategy == "adaptive":
+        assignment = assign_adaptive(sizes, bandwidths)
+        payloads = sizes[assignment]
+    elif strategy == "random":
+        assignment = assign_random(sizes, bandwidths, rng)
+        payloads = sizes[assignment]
+    elif strategy == "average":
+        assignment = np.arange(len(sizes))
+        payloads = np.full(len(sizes), sizes.mean())
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+
+    latencies = np.array(
+        [
+            trace.transfer_time(payload, start_time)
+            for trace, payload in zip(traces, payloads)
+        ]
+    )
+    return TransmissionReport(latencies_s=latencies, assignment=assignment)

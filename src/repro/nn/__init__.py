@@ -1,0 +1,76 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning substrate.
+
+Implements the subset of a PyTorch-like API needed by the paper's system:
+reverse-mode autograd tensors, convolutional / pooling / normalisation
+layers, SGD and Adam optimizers with gradient clipping, and state
+serialization with wire-size accounting.
+"""
+
+from . import functional
+from .init import kaiming_normal, kaiming_uniform, xavier_uniform
+from .modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Zero,
+)
+from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
+from .serialize import (
+    bytes_to_state,
+    clone_state,
+    model_size_megabytes,
+    state_num_parameters,
+    state_size_bytes,
+    state_to_bytes,
+)
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Identity",
+    "Zero",
+    "ReLU",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool",
+    "Flatten",
+    "Dropout",
+    "SGD",
+    "Adam",
+    "CosineAnnealingLR",
+    "StepLR",
+    "clip_grad_norm",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "state_to_bytes",
+    "bytes_to_state",
+    "clone_state",
+    "state_num_parameters",
+    "state_size_bytes",
+    "model_size_megabytes",
+]

@@ -1,0 +1,310 @@
+"""Neural-network operations over :class:`repro.nn.tensor.Tensor`.
+
+Convolution and pooling are implemented with explicit window extraction
+(im2col).  The kernel loops run over the (small) kernel footprint only, so
+the heavy lifting stays in vectorised numpy.  All operations here are fully
+differentiable through the autograd engine.
+
+Shapes follow the NCHW convention used by the paper's PyTorch
+implementation: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast, as_tensor, is_grad_enabled
+
+__all__ = [
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "linear",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "dropout",
+    "adaptive_avg_pool2d",
+    "flatten",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+def _conv_output_size(size: int, kernel: int, stride: int, pad: int, dilation: int) -> int:
+    effective = dilation * (kernel - 1) + 1
+    out = (size + 2 * pad - effective) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size "
+            f"(input={size}, kernel={kernel}, stride={stride}, pad={pad}, dilation={dilation})"
+        )
+    return out
+
+
+def _extract_windows(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    dilation: Tuple[int, int],
+    out_hw: Tuple[int, int],
+) -> np.ndarray:
+    """Gather sliding windows from a padded NCHW array.
+
+    Returns an array of shape ``(N, C, KH, KW, OH, OW)``.  Each ``[i, j]``
+    slice is a strided view copy of the input, so the loop cost is only
+    ``KH * KW`` slice copies.
+    """
+    n, c = x.shape[:2]
+    kh, kw = kernel
+    sh, sw = stride
+    dh, dw = dilation
+    oh, ow = out_hw
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        hi = i * dh
+        for j in range(kw):
+            wj = j * dw
+            cols[:, :, i, j] = x[:, :, hi : hi + sh * oh : sh, wj : wj + sw * ow : sw]
+    return cols
+
+
+def _scatter_windows(
+    cols: np.ndarray,
+    x_shape: Tuple[int, ...],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    dilation: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`_extract_windows`: scatter-add windows back."""
+    kh, kw = kernel
+    sh, sw = stride
+    dh, dw = dilation
+    oh, ow = cols.shape[-2:]
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        hi = i * dh
+        for j in range(kw):
+            wj = j * dw
+            out[:, :, hi : hi + sh * oh : sh, wj : wj + sw * ow : sw] += cols[:, :, i, j]
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+    dilation: IntPair = 1,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution (cross-correlation) with stride/padding/dilation/groups.
+
+    Parameters mirror ``torch.nn.functional.conv2d``.  ``weight`` has shape
+    ``(out_channels, in_channels // groups, KH, KW)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    dilation = _pair(dilation)
+    n, c, h, w = x.shape
+    oc, cg, kh, kw = weight.shape
+    if c != cg * groups:
+        raise ValueError(
+            f"input channels {c} incompatible with weight {weight.shape} and groups={groups}"
+        )
+    if oc % groups:
+        raise ValueError(f"out_channels {oc} not divisible by groups {groups}")
+    oh = _conv_output_size(h, kh, stride[0], padding[0], dilation[0])
+    ow = _conv_output_size(w, kw, stride[1], padding[1], dilation[1])
+
+    x_pad = x.pad2d(padding)
+    cols = _extract_windows(x_pad.data, (kh, kw), stride, dilation, (oh, ow))
+    # (N, G, C/G * KH * KW, OH * OW)
+    cols_r = cols.reshape(n, groups, cg * kh * kw, oh * ow)
+    # (G, OC/G, C/G * KH * KW)
+    w_r = weight.data.reshape(groups, oc // groups, cg * kh * kw)
+    out = np.einsum("gok,ngkp->ngop", w_r, cols_r, optimize=True)
+    out = out.reshape(n, oc, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1, 1)
+
+    parents = (x_pad, weight) if bias is None else (x_pad, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_r = grad.reshape(n, groups, oc // groups, oh * ow)
+        if weight.requires_grad:
+            gw = np.einsum("ngop,ngkp->gok", grad_r, cols_r, optimize=True)
+            weight._accumulate(gw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x_pad.requires_grad:
+            gcols = np.einsum("gok,ngop->ngkp", w_r, grad_r, optimize=True)
+            gcols = gcols.reshape(n, c, kh, kw, oh, ow)
+            gx = _scatter_windows(gcols, x_pad.shape, (kh, kw), stride, dilation)
+            x_pad._accumulate(gx)
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(
+    x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0
+) -> Tensor:
+    """Max pooling over NCHW input.  Padded cells never win (padded with -inf)."""
+    kernel = _pair(kernel_size)
+    stride = _pair(stride if stride is not None else kernel_size)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kernel[0], stride[0], padding[0], 1)
+    ow = _conv_output_size(w, kernel[1], stride[1], padding[1], 1)
+
+    ph, pw = padding
+    pads = [(0, 0), (0, 0), (ph, ph), (pw, pw)]
+    x_pad = np.pad(x.data, pads, constant_values=-np.inf)
+    cols = _extract_windows(x_pad, kernel, stride, (1, 1), (oh, ow))
+    flat = cols.reshape(n, c, kernel[0] * kernel[1], oh, ow)
+    arg = flat.argmax(axis=2)
+    out = np.take_along_axis(flat, arg[:, :, None], axis=2)[:, :, 0]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gflat = np.zeros_like(flat)
+        np.put_along_axis(gflat, arg[:, :, None], grad[:, :, None], axis=2)
+        gcols = gflat.reshape(n, c, kernel[0], kernel[1], oh, ow)
+        gx_pad = _scatter_windows(gcols, x_pad.shape, kernel, stride, (1, 1))
+        gx = gx_pad[:, :, ph : ph + h, pw : pw + w]
+        x._accumulate(gx)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(
+    x: Tensor,
+    kernel_size: IntPair,
+    stride: Optional[IntPair] = None,
+    padding: IntPair = 0,
+    count_include_pad: bool = False,
+) -> Tensor:
+    """Average pooling over NCHW input.
+
+    With ``count_include_pad=False`` (the DARTS convention) each window is
+    divided by the number of genuine input cells it covers.
+    """
+    kernel = _pair(kernel_size)
+    stride = _pair(stride if stride is not None else kernel_size)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kernel[0], stride[0], padding[0], 1)
+    ow = _conv_output_size(w, kernel[1], stride[1], padding[1], 1)
+
+    ph, pw = padding
+    pads = [(0, 0), (0, 0), (ph, ph), (pw, pw)]
+    x_pad = np.pad(x.data, pads)
+    cols = _extract_windows(x_pad, kernel, stride, (1, 1), (oh, ow))
+    if count_include_pad or (ph == 0 and pw == 0):
+        divisor = np.full((oh, ow), kernel[0] * kernel[1], dtype=x.data.dtype)
+    else:
+        ones = np.pad(np.ones((1, 1, h, w), dtype=x.data.dtype), pads)
+        divisor = _extract_windows(ones, kernel, stride, (1, 1), (oh, ow)).sum(axis=(2, 3))[0, 0]
+    out = cols.sum(axis=(2, 3)) / divisor
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g = grad / divisor
+        gcols = np.broadcast_to(
+            g[:, :, None, None], (n, c, kernel[0], kernel[1], oh, ow)
+        ).copy()
+        gx_pad = _scatter_windows(gcols, x_pad.shape, kernel, stride, (1, 1))
+        x._accumulate(gx_pad[:, :, ph : ph + h, pw : pw + w])
+
+    return Tensor._make(out, (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling.  Only global pooling (output 1x1) is needed."""
+    if output_size != 1:
+        raise NotImplementedError("only global (1x1) adaptive pooling is supported")
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+def flatten(x: Tensor) -> Tensor:
+    """Flatten all but the batch dimension."""
+    return x.reshape(x.shape[0], -1)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood of integer ``targets`` under ``log_probs``."""
+    targets = np.asarray(targets)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with an analytic fused backward.
+
+    Equivalent to ``nll_loss(log_softmax(logits), targets)`` but records a
+    single graph node, which keeps the backward pass cheap on the hot path.
+    """
+    targets = np.asarray(targets)
+    n, k = logits.shape
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    picked = shifted[np.arange(n), targets] - np.log(exp.sum(axis=1))
+    loss = -picked.mean()
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        g = probs.copy()
+        g[np.arange(n), targets] -= 1.0
+        logits._accumulate(g * (float(grad) / n))
+
+    return Tensor._make(np.asarray(loss), (logits,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales kept activations by 1/(1-p) during training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask.astype(x.data.dtype))

@@ -1,0 +1,431 @@
+"""Layer / module system for the :mod:`repro.nn` substrate.
+
+A :class:`Module` owns :class:`Parameter` leaves and child modules and
+provides PyTorch-style traversal (``parameters``, ``named_parameters``,
+``state_dict``), train/eval mode, and gradient zeroing.  Composite layers
+(``Conv2d``, ``BatchNorm2d``, ``Linear``, pooling, containers) are built on
+top of :mod:`repro.nn.functional`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Identity",
+    "Zero",
+    "ReLU",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool",
+    "Flatten",
+    "Dropout",
+]
+
+
+class Parameter(Tensor):
+    """A trainable tensor: a leaf with ``requires_grad=True``."""
+
+    def __init__(self, data: np.ndarray):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. batch-norm running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer, keeping the attribute in sync."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, child in self._modules.items():
+            yield from child.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield prefix + name, self._buffers[name]
+        for name, child in self._modules.items():
+            yield from child.named_buffers(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    # ------------------------------------------------------------------
+    # Mode and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Snapshot all parameters and buffers as copied arrays."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        params = dict(self.named_parameters())
+        own_buffers = self._named_buffer_owners()
+        missing = []
+        for name, param in params.items():
+            if name in state:
+                if param.data.shape != state[name].shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"{param.data.shape} vs {state[name].shape}"
+                    )
+                param.data[...] = state[name]
+            else:
+                missing.append(name)
+        for name, (module, local) in own_buffers.items():
+            if name in state:
+                module._set_buffer(local, np.array(state[name], copy=True))
+            else:
+                missing.append(name)
+        if strict:
+            known = set(params) | set(own_buffers)
+            unexpected = [k for k in state if k not in known]
+            if missing or unexpected:
+                raise KeyError(f"missing keys {missing}, unexpected keys {unexpected}")
+
+    def _named_buffer_owners(
+        self, prefix: str = ""
+    ) -> Dict[str, Tuple["Module", str]]:
+        owners: Dict[str, Tuple[Module, str]] = {}
+        for name in self._buffers:
+            owners[prefix + name] = (self, name)
+        for name, child in self._modules.items():
+            owners.update(child._named_buffer_owners(prefix + name + "."))
+        return owners
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def size_bytes(self) -> int:
+        """Serialized size of parameters in bytes (float32 on the wire)."""
+        return 4 * self.num_parameters()
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            self._modules[str(i)] = layer
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+class ModuleList(Module):
+    """List container registering its elements as child modules."""
+
+    def __init__(self, modules: Optional[Sequence[Module]] = None):
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self._modules[str(len(self._items))] = module
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+
+class Identity(Module):
+    """Pass-through layer (the DARTS ``skip_connect`` on stride-1 edges)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Zero(Module):
+    """The DARTS ``none`` operation: outputs zeros, optionally strided."""
+
+    def __init__(self, stride: int = 1):
+        super().__init__()
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.stride == 1:
+            return x * 0.0
+        return x[:, :, :: self.stride, :: self.stride] * 0.0
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x) -> Tensor:
+        return F.linear(as_tensor(x), self.weight, self.bias)
+
+
+class Conv2d(Module):
+    """2-D convolution layer; parameters mirror ``torch.nn.Conv2d``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: F.IntPair,
+        stride: F.IntPair = 1,
+        padding: F.IntPair = 0,
+        dilation: F.IntPair = 1,
+        groups: int = 1,
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        kh, kw = F._pair(kernel_size)
+        if in_channels % groups:
+            raise ValueError(f"in_channels {in_channels} not divisible by groups {groups}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.dilation = dilation
+        self.groups = groups
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels // groups, kh, kw), rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x) -> Tensor:
+        return F.conv2d(
+            as_tensor(x),
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            dilation=self.dilation,
+            groups=self.groups,
+        )
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel axis of NCHW input.
+
+    Training mode normalises with batch statistics and updates running
+    estimates; eval mode uses the running estimates.  ``affine=False``
+    matches the DARTS search-phase convention (no learnable scale/shift
+    while architectures are still changing).
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+        affine: bool = True,
+    ):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_features))
+            self.bias = Parameter(np.zeros(num_features))
+        else:
+            self.weight = None
+            self.bias = None
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        if self.training:
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self.running_mean[...] = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var[...] = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+            # Differentiable normalisation via tensor ops (grads flow
+            # through the batch statistics).
+            mu = x.mean(axis=(0, 2, 3), keepdims=True)
+            sigma2 = x.var(axis=(0, 2, 3), keepdims=True)
+            xhat = (x - mu) / (sigma2 + self.eps).sqrt()
+        else:
+            mu = self.running_mean.reshape(1, -1, 1, 1)
+            sigma = np.sqrt(self.running_var.reshape(1, -1, 1, 1) + self.eps)
+            xhat = (x - Tensor(mu)) / Tensor(sigma)
+        if self.affine:
+            gamma = self.weight.reshape(1, self.num_features, 1, 1)
+            beta = self.bias.reshape(1, self.num_features, 1, 1)
+            return xhat * gamma + beta
+        return xhat
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: F.IntPair, stride: Optional[F.IntPair] = None, padding: F.IntPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    def __init__(
+        self,
+        kernel_size: F.IntPair,
+        stride: Optional[F.IntPair] = None,
+        padding: F.IntPair = 0,
+        count_include_pad: bool = False,
+    ):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.count_include_pad = count_include_pad
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(
+            x, self.kernel_size, self.stride, self.padding, self.count_include_pad
+        )
+
+
+class GlobalAvgPool(Module):
+    """Global average pooling followed by flatten: NCHW -> NC."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.flatten(x)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)

@@ -1,0 +1,61 @@
+"""Serialization helpers: state flattening and wire-size accounting.
+
+The federated simulator needs to (a) snapshot and restore model state for
+the staleness memory pools, and (b) measure how many bytes a model costs
+to transmit — the quantity the paper's adaptive-transmission scheme sorts
+sub-models by.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = [
+    "state_to_bytes",
+    "bytes_to_state",
+    "state_num_parameters",
+    "state_size_bytes",
+    "model_size_megabytes",
+    "clone_state",
+]
+
+_WIRE_BYTES_PER_SCALAR = 4  # models ship as float32
+
+
+def state_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
+    """Serialize a state dict to bytes (npz container, float32 payload)."""
+    buffer = io.BytesIO()
+    compact = {k: np.asarray(v, dtype=np.float32) for k, v in state.items()}
+    np.savez(buffer, **compact)
+    return buffer.getvalue()
+
+
+def bytes_to_state(payload: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`state_to_bytes`."""
+    buffer = io.BytesIO(payload)
+    with np.load(buffer) as archive:
+        return {k: archive[k].astype(np.float64) for k in archive.files}
+
+
+def state_num_parameters(state: Dict[str, np.ndarray]) -> int:
+    return int(sum(v.size for v in state.values()))
+
+
+def state_size_bytes(state: Dict[str, np.ndarray]) -> int:
+    """Wire size of a state dict, assuming float32 scalars."""
+    return _WIRE_BYTES_PER_SCALAR * state_num_parameters(state)
+
+
+def model_size_megabytes(model: Module) -> float:
+    """Wire size of a model's trainable parameters in MB (float32)."""
+    return _WIRE_BYTES_PER_SCALAR * model.num_parameters() / 1e6
+
+
+def clone_state(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Deep-copy a state dict."""
+    return {k: np.array(v, copy=True) for k, v in state.items()}

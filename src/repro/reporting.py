@@ -1,0 +1,117 @@
+"""Result reporting: render curves and tables as Markdown or CSV.
+
+The benchmark harness and downstream users both need to turn
+:class:`~repro.evaluation.CurveRecorder` series and result rows into
+shareable artefacts.  Everything here is plain-text and dependency-free.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .evaluation import CurveRecorder
+
+__all__ = [
+    "markdown_table",
+    "csv_table",
+    "curves_to_csv",
+    "ascii_curve",
+    "summarize_rounds",
+]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], precision: int = 4
+) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_cell(c, precision) for c in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def csv_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
+    """Render rows as CSV text (RFC-4180 quoting)."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def curves_to_csv(recorder: CurveRecorder, series: Optional[Sequence[str]] = None) -> str:
+    """Export recorder series as aligned CSV columns (row = round index).
+
+    Shorter series are padded with empty cells.
+    """
+    names = list(series) if series is not None else sorted(recorder.series)
+    missing = [n for n in names if n not in recorder.series]
+    if missing:
+        raise KeyError(f"unknown series: {missing}")
+    columns = [recorder.get(n) for n in names]
+    length = max((len(c) for c in columns), default=0)
+    rows = []
+    for i in range(length):
+        rows.append(
+            [i] + [c[i] if i < len(c) else "" for c in columns]
+        )
+    return csv_table(["round"] + names, rows)
+
+
+def ascii_curve(
+    values: Sequence[float], width: int = 60, height: int = 10, label: str = ""
+) -> str:
+    """A terminal sparkline-style plot of a series (for example scripts)."""
+    data = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+    if data.size == 0:
+        return f"{label} (no data)"
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+    # Down-sample to the display width.
+    indices = np.linspace(0, len(data) - 1, num=min(width, len(data))).astype(int)
+    sampled = data[indices]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = np.round((sampled - lo) / span * (height - 1)).astype(int)
+    grid = [[" "] * len(sampled) for _ in range(height)]
+    for x, level in enumerate(levels):
+        grid[height - 1 - level][x] = "*"
+    lines = [f"{label}  [{lo:.3f} .. {hi:.3f}]"] if label else [f"[{lo:.3f} .. {hi:.3f}]"]
+    lines.extend("".join(row) for row in grid)
+    return "\n".join(lines)
+
+
+def summarize_rounds(results) -> Dict[str, float]:
+    """Aggregate a list of :class:`RoundResult` into headline numbers."""
+    rewards = np.array([r.mean_reward for r in results], dtype=float)
+    return {
+        "rounds": float(len(results)),
+        "final_accuracy": float(np.nanmean(rewards[-max(1, len(rewards) // 5):])),
+        "mean_accuracy": float(np.nanmean(rewards)) if len(rewards) else float("nan"),
+        "fresh_updates": float(sum(r.num_fresh for r in results)),
+        "stale_updates_used": float(sum(r.num_stale_used for r in results)),
+        "dropped_updates": float(sum(r.num_dropped for r in results)),
+        "offline_slots": float(sum(r.num_offline for r in results)),
+        "total_time_s": float(sum(r.round_duration_s for r in results)),
+    }

@@ -1,0 +1,39 @@
+"""``repro.search_space`` — the DARTS cell search space.
+
+Supernet, cells, the 8 candidate operations, mask-based sub-model
+extraction, and genotype derivation.
+"""
+
+from .cell import Cell, CellTopology, MixedEdge
+from .genotype import Genotype, build_derived_network, derive_genotype
+from .operations import (
+    NUM_OPERATIONS,
+    PRIMITIVES,
+    DilConv,
+    FactorizedReduce,
+    PoolBN,
+    ReLUConvBN,
+    SepConv,
+    make_operation,
+)
+from .supernet import ArchitectureMask, Supernet, SupernetConfig
+
+__all__ = [
+    "Cell",
+    "CellTopology",
+    "MixedEdge",
+    "Genotype",
+    "build_derived_network",
+    "derive_genotype",
+    "NUM_OPERATIONS",
+    "PRIMITIVES",
+    "make_operation",
+    "ReLUConvBN",
+    "SepConv",
+    "DilConv",
+    "FactorizedReduce",
+    "PoolBN",
+    "ArchitectureMask",
+    "Supernet",
+    "SupernetConfig",
+]

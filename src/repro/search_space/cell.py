@@ -1,0 +1,201 @@
+"""Cell DAG of the DARTS search space.
+
+A cell is a directed acyclic graph over ``2 + steps`` nodes: nodes 0 and 1
+are the outputs of the two preceding cells, nodes ``2 .. steps+1`` are
+intermediate features, and the cell output concatenates all intermediate
+nodes along channels.  Every intermediate node receives one edge from each
+earlier node; each edge carries a candidate operation.
+
+Two cell types exist: *normal* cells (stride 1 everywhere) and *reduction*
+cells (stride 2 on edges leaving the input nodes, doubling channels and
+halving resolution).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+
+from .operations import (
+    NUM_OPERATIONS,
+    PRIMITIVES,
+    FactorizedReduce,
+    ReLUConvBN,
+    make_operation,
+)
+
+__all__ = ["CellTopology", "MixedEdge", "Cell"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellTopology:
+    """Wiring shared by every cell: the ordered edge list of the DAG."""
+
+    steps: int
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError(f"a cell needs at least one intermediate node, got {self.steps}")
+
+    @property
+    def num_nodes(self) -> int:
+        return 2 + self.steps
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Ordered ``(src, dst)`` pairs; dst iterates intermediate nodes."""
+        return tuple(
+            (src, 2 + i) for i in range(self.steps) for src in range(2 + i)
+        )
+
+    @property
+    def num_edges(self) -> int:
+        return self.steps * (self.steps + 3) // 2
+
+    def incoming(self, node: int) -> List[int]:
+        """Edge indices entering intermediate ``node`` (>= 2)."""
+        return [i for i, (_, dst) in enumerate(self.edges) if dst == node]
+
+
+class MixedEdge(nn.Module):
+    """One cell edge holding candidate operations.
+
+    A supernet edge holds all :data:`NUM_OPERATIONS` candidates; a
+    sub-model edge holds exactly the sampled one.  Child operations are
+    registered under their **global** operation index so that sub-model
+    parameter names are a strict subset of supernet parameter names —
+    the property that lets ``prune(θ, g)`` be a plain dictionary
+    restriction (Alg. 1, line 8).
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        stride: int,
+        affine: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        op_indices: Optional[Sequence[int]] = None,
+    ):
+        super().__init__()
+        if op_indices is None:
+            op_indices = range(NUM_OPERATIONS)
+        self.op_indices = tuple(op_indices)
+        if not self.op_indices:
+            raise ValueError("an edge must carry at least one operation")
+        for idx in self.op_indices:
+            if not 0 <= idx < NUM_OPERATIONS:
+                raise ValueError(f"operation index {idx} out of range")
+            op = make_operation(PRIMITIVES[idx], channels, stride, affine, rng)
+            self._modules[str(idx)] = op
+        self.stride = stride
+
+    def op(self, index: int) -> nn.Module:
+        """Candidate operation by global index."""
+        try:
+            return self._modules[str(index)]
+        except KeyError:
+            raise KeyError(
+                f"edge carries ops {self.op_indices}, index {index} not present"
+            ) from None
+
+    def forward(self, x: Tensor, op_index: int) -> Tensor:
+        """Apply the single selected operation (sampled execution, Eq. 6)."""
+        return self.op(op_index)(x)
+
+    def forward_mixed(self, x: Tensor, weights: Tensor) -> Tensor:
+        """Softmax-weighted sum over all candidates (Eq. 3, DARTS-style).
+
+        ``weights`` is a length-:data:`NUM_OPERATIONS` tensor; only the
+        entries of ops present on this edge participate.
+        """
+        terms = []
+        for idx in self.op_indices:
+            terms.append(self.op(idx)(x) * weights[idx])
+        out = terms[0]
+        for term in terms[1:]:
+            out = out + term
+        return out
+
+
+class Cell(nn.Module):
+    """A normal or reduction cell built over :class:`CellTopology`.
+
+    Parameters
+    ----------
+    topology:
+        Shared DAG wiring.
+    c_prev_prev, c_prev:
+        Channel counts of the two input feature maps.
+    channels:
+        Per-node channel count inside this cell.
+    reduction:
+        Whether this is a reduction cell (stride 2 on input-node edges).
+    reduction_prev:
+        Whether the *previous* cell was a reduction cell, in which case
+        input 0 must be spatially halved by a factorized reduce.
+    edge_op_indices:
+        Optional per-edge restriction of candidate operations; used to
+        build sub-models.  ``edge_op_indices[e]`` lists global op indices
+        present on edge ``e``.
+    """
+
+    def __init__(
+        self,
+        topology: CellTopology,
+        c_prev_prev: int,
+        c_prev: int,
+        channels: int,
+        reduction: bool,
+        reduction_prev: bool,
+        affine: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        edge_op_indices: Optional[Sequence[Sequence[int]]] = None,
+    ):
+        super().__init__()
+        self.topology = topology
+        self.reduction = reduction
+        if reduction_prev:
+            self.preprocess0 = FactorizedReduce(c_prev_prev, channels, affine, rng)
+        else:
+            self.preprocess0 = ReLUConvBN(c_prev_prev, channels, 1, 1, 0, affine, rng)
+        self.preprocess1 = ReLUConvBN(c_prev, channels, 1, 1, 0, affine, rng)
+
+        if edge_op_indices is not None and len(edge_op_indices) != topology.num_edges:
+            raise ValueError(
+                f"edge_op_indices has {len(edge_op_indices)} entries, "
+                f"topology has {topology.num_edges} edges"
+            )
+        self.edges = nn.ModuleList()
+        for e, (src, _) in enumerate(topology.edges):
+            stride = 2 if reduction and src < 2 else 1
+            indices = None if edge_op_indices is None else edge_op_indices[e]
+            self.edges.append(
+                MixedEdge(channels, stride, affine=affine, rng=rng, op_indices=indices)
+            )
+
+    def forward(self, s0: Tensor, s1: Tensor, op_choices: np.ndarray) -> Tensor:
+        """Sampled execution: ``op_choices[e]`` selects the op on edge ``e``."""
+        return self._run(s0, s1, lambda edge, x, e: edge(x, int(op_choices[e])))
+
+    def forward_mixed(self, s0: Tensor, s1: Tensor, weights: Tensor) -> Tensor:
+        """Mixed execution with per-edge op weights of shape (E, N)."""
+        return self._run(s0, s1, lambda edge, x, e: edge.forward_mixed(x, weights[e]))
+
+    def _run(self, s0: Tensor, s1: Tensor, apply_edge) -> Tensor:
+        states = [self.preprocess0(s0), self.preprocess1(s1)]
+        edge_iter = iter(enumerate(self.topology.edges))
+        for i in range(self.topology.steps):
+            node_inputs = []
+            for _ in range(2 + i):
+                e, (src, _) = next(edge_iter)
+                node_inputs.append(apply_edge(self.edges[e], states[src], e))
+            total = node_inputs[0]
+            for term in node_inputs[1:]:
+                total = total + term
+            states.append(total)
+        return nn.concatenate(states[2:], axis=1)

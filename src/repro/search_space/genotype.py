@@ -1,0 +1,111 @@
+"""Derived architectures (genotypes) and their instantiation for retraining.
+
+After the search phase (P2), the architecture parameters are decoded into
+a *genotype*: the operation carried by every edge of the normal and
+reduction cell.  Phase P3 re-initialises this architecture from scratch
+(``affine=True`` batch norm, fresh weights) and trains it either
+centralised or federated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .operations import NUM_OPERATIONS, PRIMITIVES
+from .supernet import ArchitectureMask, Supernet, SupernetConfig
+
+__all__ = ["Genotype", "derive_genotype", "build_derived_network"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Genotype:
+    """A searched architecture: op names per edge per cell type."""
+
+    normal: Tuple[str, ...]
+    reduce: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for kind, ops in (("normal", self.normal), ("reduce", self.reduce)):
+            unknown = [op for op in ops if op not in PRIMITIVES]
+            if unknown:
+                raise ValueError(f"unknown {kind} operations: {unknown}")
+
+    def to_mask(self) -> ArchitectureMask:
+        index = {name: i for i, name in enumerate(PRIMITIVES)}
+        return ArchitectureMask(
+            tuple(index[op] for op in self.normal),
+            tuple(index[op] for op in self.reduce),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps({"normal": list(self.normal), "reduce": list(self.reduce)})
+
+    @staticmethod
+    def from_json(payload: str) -> "Genotype":
+        raw = json.loads(payload)
+        return Genotype(tuple(raw["normal"]), tuple(raw["reduce"]))
+
+    @staticmethod
+    def from_mask(mask: ArchitectureMask) -> "Genotype":
+        return Genotype(
+            tuple(PRIMITIVES[i] for i in mask.normal),
+            tuple(PRIMITIVES[i] for i in mask.reduce),
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary, one line per cell type."""
+        return (
+            f"normal: {', '.join(self.normal)}\n"
+            f"reduce: {', '.join(self.reduce)}"
+        )
+
+
+def derive_genotype(alpha: np.ndarray, exclude_none: bool = True) -> Genotype:
+    """Decode architecture parameters into the most likely architecture.
+
+    ``alpha`` has shape ``(2, num_edges, NUM_OPERATIONS)`` (normal then
+    reduce).  Each edge takes its argmax operation — the mode of the
+    sampling distribution of Eq. (4), consistent with sub-models carrying
+    exactly one operation per edge.
+
+    Following the DARTS derivation convention, the ``none`` operation is
+    excluded from the final architecture by default: it may dominate
+    during search (it is "free" to sample) but an edge of a deployed
+    model must compute something.
+    """
+    alpha = np.asarray(alpha)
+    if alpha.ndim != 3 or alpha.shape[0] != 2 or alpha.shape[2] != NUM_OPERATIONS:
+        raise ValueError(
+            f"alpha must have shape (2, E, {NUM_OPERATIONS}), got {alpha.shape}"
+        )
+    scores = alpha.astype(float).copy()
+    if exclude_none:
+        scores[:, :, PRIMITIVES.index("none")] = -np.inf
+    normal = tuple(PRIMITIVES[i] for i in scores[0].argmax(axis=1))
+    reduce = tuple(PRIMITIVES[i] for i in scores[1].argmax(axis=1))
+    return Genotype(normal, reduce)
+
+
+def build_derived_network(
+    genotype: Genotype,
+    config: SupernetConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> Supernet:
+    """Instantiate ``genotype`` as a fresh trainable network for P3.
+
+    Batch-norm becomes affine (the search-phase convention disables the
+    learnable scale/shift; the final model enables them) and weights are
+    re-initialised from scratch, exactly as the paper's phase 3 does.
+    """
+    retrain_config = dataclasses.replace(config, affine=True)
+    mask = genotype.to_mask()
+    expected = retrain_config.num_edges
+    if len(genotype.normal) != expected:
+        raise ValueError(
+            f"genotype has {len(genotype.normal)} edges but config expects {expected}"
+        )
+    return Supernet(retrain_config, rng=rng, mask=mask)

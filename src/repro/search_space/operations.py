@@ -1,0 +1,217 @@
+"""The eight DARTS candidate operations (paper Fig. 1).
+
+The search space is inherited from DARTS: every edge of a cell carries one
+of ``N = 8`` operations —
+
+* ``none`` — the zero operation,
+* ``max_pool_3x3`` / ``avg_pool_3x3`` — pooling followed by BatchNorm,
+* ``skip_connect`` — identity (stride 1) or factorized reduce (stride 2),
+* ``sep_conv_3x3`` / ``sep_conv_5x5`` — depthwise-separable conv, applied
+  twice as in DARTS,
+* ``dil_conv_3x3`` / ``dil_conv_5x5`` — dilated depthwise-separable conv.
+
+All convolutional blocks are ReLU-Conv-BN ordered, matching the DARTS
+reference implementation.  ``affine`` is off during search (the DARTS
+convention) and on for the derived model retraining.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+
+__all__ = [
+    "PRIMITIVES",
+    "NUM_OPERATIONS",
+    "make_operation",
+    "ReLUConvBN",
+    "SepConv",
+    "DilConv",
+    "FactorizedReduce",
+    "PoolBN",
+]
+
+#: Candidate operation names, index-aligned with controller logits.
+PRIMITIVES = (
+    "none",
+    "max_pool_3x3",
+    "avg_pool_3x3",
+    "skip_connect",
+    "sep_conv_3x3",
+    "sep_conv_5x5",
+    "dil_conv_3x3",
+    "dil_conv_5x5",
+)
+
+NUM_OPERATIONS = len(PRIMITIVES)
+
+
+class ReLUConvBN(nn.Module):
+    """ReLU -> Conv -> BatchNorm, the DARTS preprocessing block."""
+
+    def __init__(
+        self,
+        c_in: int,
+        c_out: int,
+        kernel_size: int,
+        stride: int,
+        padding: int,
+        affine: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.op = nn.Sequential(
+            nn.ReLU(),
+            nn.Conv2d(c_in, c_out, kernel_size, stride=stride, padding=padding, rng=rng),
+            nn.BatchNorm2d(c_out, affine=affine),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.op(x)
+
+
+class DilConv(nn.Module):
+    """Dilated depthwise-separable convolution (ReLU-dwConv-pwConv-BN)."""
+
+    def __init__(
+        self,
+        c_in: int,
+        c_out: int,
+        kernel_size: int,
+        stride: int,
+        padding: int,
+        dilation: int,
+        affine: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.op = nn.Sequential(
+            nn.ReLU(),
+            nn.Conv2d(
+                c_in,
+                c_in,
+                kernel_size,
+                stride=stride,
+                padding=padding,
+                dilation=dilation,
+                groups=c_in,
+                rng=rng,
+            ),
+            nn.Conv2d(c_in, c_out, 1, rng=rng),
+            nn.BatchNorm2d(c_out, affine=affine),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.op(x)
+
+
+class SepConv(nn.Module):
+    """Depthwise-separable convolution applied twice (the DARTS block)."""
+
+    def __init__(
+        self,
+        c_in: int,
+        c_out: int,
+        kernel_size: int,
+        stride: int,
+        padding: int,
+        affine: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.op = nn.Sequential(
+            nn.ReLU(),
+            nn.Conv2d(
+                c_in, c_in, kernel_size, stride=stride, padding=padding, groups=c_in, rng=rng
+            ),
+            nn.Conv2d(c_in, c_in, 1, rng=rng),
+            nn.BatchNorm2d(c_in, affine=affine),
+            nn.ReLU(),
+            nn.Conv2d(c_in, c_in, kernel_size, stride=1, padding=padding, groups=c_in, rng=rng),
+            nn.Conv2d(c_in, c_out, 1, rng=rng),
+            nn.BatchNorm2d(c_out, affine=affine),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.op(x)
+
+
+class PoolBN(nn.Module):
+    """3x3 pooling followed by BatchNorm (DARTS pools BN their output)."""
+
+    def __init__(self, mode: str, channels: int, stride: int, affine: bool = True):
+        super().__init__()
+        if mode == "max":
+            self.pool = nn.MaxPool2d(3, stride=stride, padding=1)
+        elif mode == "avg":
+            self.pool = nn.AvgPool2d(3, stride=stride, padding=1, count_include_pad=False)
+        else:
+            raise ValueError(f"unknown pool mode {mode!r}")
+        self.bn = nn.BatchNorm2d(channels, affine=affine)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.bn(self.pool(x))
+
+
+class FactorizedReduce(nn.Module):
+    """Halve spatial size without information loss: two offset 1x1 convs.
+
+    Used for ``skip_connect`` on stride-2 (reduction cell) edges.
+    """
+
+    def __init__(
+        self,
+        c_in: int,
+        c_out: int,
+        affine: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if c_out % 2:
+            raise ValueError(f"FactorizedReduce needs even c_out, got {c_out}")
+        self.relu = nn.ReLU()
+        self.conv1 = nn.Conv2d(c_in, c_out // 2, 1, stride=2, rng=rng)
+        self.conv2 = nn.Conv2d(c_in, c_out // 2, 1, stride=2, rng=rng)
+        self.bn = nn.BatchNorm2d(c_out, affine=affine)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.relu(x)
+        # Second branch offset by one pixel so the two convs sample
+        # complementary spatial grids; pad back so both branches agree.
+        shifted = x[:, :, 1:, 1:].pad2d_asymmetric(0, 1, 0, 1)
+        out = nn.concatenate([self.conv1(x), self.conv2(shifted)], axis=1)
+        return self.bn(out)
+
+
+def make_operation(
+    name: str,
+    channels: int,
+    stride: int,
+    affine: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> nn.Module:
+    """Instantiate candidate operation ``name`` for a cell edge.
+
+    ``channels`` is both input and output width (DARTS edges preserve
+    width); ``stride`` is 2 on reduction-cell edges that touch an input
+    node, 1 elsewhere.
+    """
+    factories: Dict[str, Callable[[], nn.Module]] = {
+        "none": lambda: nn.Zero(stride=stride),
+        "max_pool_3x3": lambda: PoolBN("max", channels, stride, affine),
+        "avg_pool_3x3": lambda: PoolBN("avg", channels, stride, affine),
+        "skip_connect": lambda: (
+            nn.Identity() if stride == 1 else FactorizedReduce(channels, channels, affine, rng)
+        ),
+        "sep_conv_3x3": lambda: SepConv(channels, channels, 3, stride, 1, affine, rng),
+        "sep_conv_5x5": lambda: SepConv(channels, channels, 5, stride, 2, affine, rng),
+        "dil_conv_3x3": lambda: DilConv(channels, channels, 3, stride, 2, 2, affine, rng),
+        "dil_conv_5x5": lambda: DilConv(channels, channels, 5, stride, 4, 2, affine, rng),
+    }
+    if name not in factories:
+        raise ValueError(f"unknown operation {name!r}; choose from {PRIMITIVES}")
+    return factories[name]()

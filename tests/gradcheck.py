@@ -1,0 +1,51 @@
+"""Finite-difference gradient checking used across the nn test modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[[], Tensor], param: Tensor, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference estimate of d fn() / d param.
+
+    ``fn`` must return a scalar Tensor computed from ``param``.
+    """
+    grad = np.zeros_like(param.data)
+    flat = param.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn().data)
+        flat[i] = original - eps
+        minus = float(fn().data)
+        flat[i] = original
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_gradients_close(
+    fn: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+    eps: float = 1e-6,
+) -> None:
+    """Check autograd gradients of ``fn`` against finite differences."""
+    for p in params:
+        p.zero_grad()
+    out = fn()
+    out.backward()
+    for i, p in enumerate(params):
+        expected = numeric_gradient(fn, p, eps=eps)
+        assert p.grad is not None, f"param {i} received no gradient"
+        np.testing.assert_allclose(
+            p.grad, expected, rtol=rtol, atol=atol,
+            err_msg=f"gradient mismatch for param {i} with shape {p.shape}",
+        )

@@ -1,0 +1,83 @@
+"""Tests for the participant-availability (connection loss) model."""
+
+import numpy as np
+import pytest
+
+from repro.controller import ArchitecturePolicy
+from repro.data import iid_partition, synth_cifar10
+from repro.federated import FederatedSearchServer, Participant
+from repro.search_space import Supernet, SupernetConfig
+
+TINY = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+def make_server(availabilities, seed=0):
+    train, _ = synth_cifar10(seed=1, train_per_class=10, test_per_class=2, image_size=8)
+    shards = iid_partition(train, len(availabilities), rng=np.random.default_rng(0))
+    supernet = Supernet(TINY, rng=np.random.default_rng(seed + 1))
+    policy = ArchitecturePolicy(TINY.num_edges, rng=np.random.default_rng(seed + 2))
+    participants = [
+        Participant(
+            k, s, batch_size=8, availability=a, rng=np.random.default_rng(seed + 10 + k)
+        )
+        for k, (s, a) in enumerate(zip(shards, availabilities))
+    ]
+    return FederatedSearchServer(
+        supernet, policy, participants, rng=np.random.default_rng(seed + 4)
+    )
+
+
+class TestAvailabilityModel:
+    def test_invalid_availability_rejected(self):
+        train, _ = synth_cifar10(train_per_class=4, test_per_class=2, image_size=8)
+        with pytest.raises(ValueError):
+            Participant(0, train, batch_size=4, availability=1.5)
+        with pytest.raises(ValueError):
+            Participant(0, train, batch_size=4, availability=-0.1)
+
+    def test_full_availability_everyone_participates(self):
+        server = make_server([1.0, 1.0, 1.0])
+        result = server.run_round()
+        assert result.num_offline == 0
+        assert result.num_fresh == 3
+
+    def test_zero_availability_participant_never_contributes(self):
+        server = make_server([1.0, 1.0, 0.0])
+        results = server.run(5)
+        assert all(r.num_offline == 1 for r in results)
+        assert all(r.num_fresh == 2 for r in results)
+        # The dead participant never gets a mask saved.
+        for t in range(3, 5):  # rounds within memory horizon
+            with pytest.raises(KeyError):
+                server.pools.mask(t, 2)
+
+    def test_all_offline_round_is_survivable(self):
+        """The failure the paper warns about — with soft handling, a
+        round where nobody answers must not block or corrupt state."""
+        server = make_server([0.0, 0.0])
+        results = server.run(3)
+        assert all(r.num_offline == 2 for r in results)
+        assert all(np.isnan(r.mean_reward) for r in results)
+        assert server.round == 3
+
+    def test_partial_availability_roughly_matches_probability(self):
+        server = make_server([0.5, 0.5, 0.5, 0.5], seed=7)
+        results = server.run(30)
+        offline_fraction = np.mean([r.num_offline for r in results]) / 4
+        assert 0.3 < offline_fraction < 0.7
+
+    def test_search_progresses_despite_dropouts(self):
+        server = make_server([0.8, 0.8, 0.8, 0.8], seed=3)
+        server.config.theta_lr = 0.1
+        server.theta_optimizer.lr = 0.1
+        results = server.run(50)
+        rewards = [r.mean_reward for r in results]
+        early = np.nanmean(rewards[:10])
+        late = np.nanmean(rewards[-10:])
+        assert late > early
+
+    def test_alpha_frozen_when_no_arrivals(self):
+        server = make_server([0.0])
+        alpha_before = server.policy.alpha.copy()
+        server.run_round()
+        np.testing.assert_array_equal(alpha_before, server.policy.alpha)

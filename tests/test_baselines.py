@@ -1,0 +1,266 @@
+"""Tests for the baseline searchers and fixed models."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.baselines import (
+    DartsConfig,
+    DartsSearcher,
+    DeepResidualNet,
+    EnasConfig,
+    EnasSearcher,
+    EvoFedNasConfig,
+    EvoFedNasSearcher,
+    FedNasConfig,
+    FedNasSearcher,
+    SimpleCNN,
+    resnet_stand_in,
+)
+from repro.data import iid_partition, synth_cifar10
+from repro.search_space import Genotype, SupernetConfig
+
+TINY = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    train, test = synth_cifar10(seed=0, train_per_class=10, test_per_class=4, image_size=8)
+    return train, test
+
+
+class TestFixedModels:
+    def test_simple_cnn_forward(self):
+        model = SimpleCNN(num_classes=7, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8))
+        assert model(x).shape == (2, 7)
+
+    def test_simple_cnn_trains(self):
+        rng = np.random.default_rng(0)
+        model = SimpleCNN(num_classes=3, channels=8, rng=rng)
+        x = rng.normal(size=(4, 3, 8, 8))
+        y = rng.integers(0, 3, size=4)
+        loss = nn.functional.cross_entropy(model(x), y)
+        loss.backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+    def test_residual_net_forward_and_downsampling(self):
+        model = DeepResidualNet(
+            num_classes=5, base_channels=4, blocks_per_stage=1, rng=np.random.default_rng(0)
+        )
+        x = np.random.default_rng(1).normal(size=(2, 3, 16, 16))
+        assert model(x).shape == (2, 5)
+
+    def test_residual_net_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            DeepResidualNet(blocks_per_stage=0)
+
+    def test_resnet_stand_in_is_much_larger_than_searched_models(self):
+        """Mirrors Table IV: FedAvg* model (58.2M) vs searched (3.9M)."""
+        from repro.search_space import ArchitectureMask, Supernet
+
+        big = resnet_stand_in(rng=np.random.default_rng(0))
+        supernet = Supernet(TINY, rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        e = TINY.num_edges
+        sub = supernet.extract_submodel(
+            ArchitectureMask.from_arrays(
+                rng.integers(0, 8, size=e), rng.integers(0, 8, size=e)
+            )
+        )
+        assert big.num_parameters() > 5 * sub.num_parameters()
+
+
+class TestDarts:
+    def test_first_order_step_moves_alpha_and_weights(self, datasets):
+        train, test = datasets
+        searcher = DartsSearcher(
+            TINY, train, test, DartsConfig(batch_size=8), rng=np.random.default_rng(0)
+        )
+        alpha_before = searcher.alpha_stack()
+        w_before = searcher.supernet.state_dict()
+        searcher.step()
+        assert not np.allclose(alpha_before, searcher.alpha_stack())
+        w_after = searcher.supernet.state_dict()
+        assert any(not np.allclose(w_before[k], w_after[k]) for k in w_before)
+
+    def test_second_order_step_runs_and_restores_weights_shape(self, datasets):
+        train, test = datasets
+        searcher = DartsSearcher(
+            TINY,
+            train,
+            test,
+            DartsConfig(batch_size=8, order=2),
+            rng=np.random.default_rng(1),
+        )
+        searcher.step()
+        assert np.isfinite(searcher.alpha_stack()).all()
+
+    def test_orders_diverge(self, datasets):
+        """1st and 2nd order must produce different alpha trajectories."""
+        train, test = datasets
+        alphas = {}
+        for order in (1, 2):
+            searcher = DartsSearcher(
+                TINY,
+                train,
+                test,
+                DartsConfig(batch_size=8, order=order),
+                rng=np.random.default_rng(7),
+            )
+            searcher.step()
+            searcher.step()
+            alphas[order] = searcher.alpha_stack()
+        assert not np.allclose(alphas[1], alphas[2])
+
+    def test_search_returns_outcome(self, datasets):
+        train, test = datasets
+        searcher = DartsSearcher(
+            TINY, train, test, DartsConfig(batch_size=8), rng=np.random.default_rng(2)
+        )
+        outcome = searcher.search(2)
+        assert isinstance(outcome.genotype, Genotype)
+        assert len(outcome.recorder.get("train_accuracy")) == 2
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            DartsConfig(order=3)
+
+
+class TestEnas:
+    def test_step_updates_policy_and_weights(self, datasets):
+        train, _ = datasets
+        searcher = EnasSearcher(
+            TINY, train, EnasConfig(batch_size=8), rng=np.random.default_rng(0)
+        )
+        alpha_before = searcher.policy.alpha.copy()
+        accuracy = searcher.step()
+        assert 0.0 <= accuracy <= 1.0
+        assert not np.allclose(alpha_before, searcher.policy.alpha)
+
+    def test_search_outcome(self, datasets):
+        train, _ = datasets
+        searcher = EnasSearcher(
+            TINY, train, EnasConfig(batch_size=8, samples_per_step=2),
+            rng=np.random.default_rng(1),
+        )
+        outcome = searcher.search(3)
+        assert len(outcome.recorder.get("train_accuracy")) == 3
+        assert outcome.simulated_time_s == 0.0  # centralised: no FL cost
+
+
+class TestFedNas:
+    def test_round_aggregates_and_tracks_costs(self, datasets):
+        train, _ = datasets
+        shards = iid_partition(train, 3, rng=np.random.default_rng(0))
+        searcher = FedNasSearcher(
+            TINY, shards, FedNasConfig(batch_size=8), rng=np.random.default_rng(1)
+        )
+        accuracy = searcher.round()
+        assert 0.0 <= accuracy <= 1.0
+        assert searcher.bytes_transferred == pytest.approx(
+            2 * 3 * searcher.supernet_bytes
+        )
+        assert searcher.simulated_time_s > 0
+
+    def test_payload_is_full_supernet(self, datasets):
+        """FedNAS ships the supernet; the whole point of the paper is that
+        our sub-models are ~1/N of this."""
+        train, _ = datasets
+        shards = iid_partition(train, 2, rng=np.random.default_rng(0))
+        searcher = FedNasSearcher(TINY, shards, rng=np.random.default_rng(1))
+        outcome = searcher.search(1)
+        assert outcome.mean_payload_bytes == pytest.approx(searcher.supernet_bytes)
+
+    def test_empty_shards_rejected(self):
+        with pytest.raises(ValueError):
+            FedNasSearcher(TINY, [])
+
+
+class TestEvoFedNas:
+    def test_generation_improves_or_keeps_population(self, datasets):
+        train, _ = datasets
+        shards = iid_partition(train, 2, rng=np.random.default_rng(0))
+        searcher = EvoFedNasSearcher(
+            TINY,
+            shards,
+            EvoFedNasConfig(population_size=4, batch_size=8, variant="small"),
+            rng=np.random.default_rng(1),
+        )
+        best = searcher.step_generation()
+        assert 0.0 <= best <= 1.0
+        assert len(searcher.population) == 4
+        assert searcher.simulated_time_s > 0
+
+    def test_variant_sizes(self, datasets):
+        train, _ = datasets
+        shards = iid_partition(train, 2, rng=np.random.default_rng(0))
+        big = EvoFedNasSearcher(
+            TINY, shards, EvoFedNasConfig(variant="big", population_size=2),
+            rng=np.random.default_rng(1),
+        )
+        small = EvoFedNasSearcher(
+            TINY, shards, EvoFedNasConfig(variant="small", population_size=2),
+            rng=np.random.default_rng(1),
+        )
+        assert (
+            big.population[0].model.num_parameters()
+            > small.population[0].model.num_parameters()
+        )
+
+    def test_mutation_changes_some_edges(self):
+        train, _ = synth_cifar10(seed=0, train_per_class=4, test_per_class=2, image_size=8)
+        shards = iid_partition(train, 2, rng=np.random.default_rng(0))
+        searcher = EvoFedNasSearcher(
+            TINY, shards, EvoFedNasConfig(population_size=2, mutation_rate=1.0),
+            rng=np.random.default_rng(2),
+        )
+        parent = searcher.population[0].mask
+        child = searcher._mutate(parent)
+        assert child.normal != parent.normal or child.reduce != parent.reduce
+
+    def test_search_outcome(self, datasets):
+        train, _ = datasets
+        shards = iid_partition(train, 2, rng=np.random.default_rng(0))
+        searcher = EvoFedNasSearcher(
+            TINY,
+            shards,
+            EvoFedNasConfig(population_size=2, variant="small", batch_size=8),
+            rng=np.random.default_rng(3),
+        )
+        outcome = searcher.search(2)
+        assert isinstance(outcome.genotype, Genotype)
+        assert outcome.bytes_transferred > 0
+        assert len(outcome.recorder.get("best_fitness")) == 2
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            EvoFedNasConfig(population_size=1)
+        with pytest.raises(ValueError):
+            EvoFedNasConfig(mutation_rate=0.0)
+        with pytest.raises(ValueError):
+            EvoFedNasConfig(variant="medium")
+
+
+class TestEfficiencyOrdering:
+    def test_ours_cheaper_than_fednas_per_round(self, datasets):
+        """Table V's core claim at simulator scale: our per-round payload
+        and compute are a fraction of FedNAS's (sub-model vs supernet)."""
+        from repro.controller import ArchitecturePolicy
+        from repro.federated import FederatedSearchServer, Participant
+        from repro.search_space import Supernet
+
+        train, _ = datasets
+        rng = np.random.default_rng(0)
+        shards = iid_partition(train, 3, rng=rng)
+
+        fednas = FedNasSearcher(TINY, shards, FedNasConfig(batch_size=8), rng=rng)
+        fednas.round()
+        fednas_payload = fednas.supernet_bytes
+
+        supernet = Supernet(TINY, rng=rng)
+        policy = ArchitecturePolicy(TINY.num_edges, rng=rng)
+        participants = [Participant(k, s, batch_size=8) for k, s in enumerate(shards)]
+        server = FederatedSearchServer(supernet, policy, participants, rng=rng)
+        result = server.run_round()
+        assert result.mean_submodel_bytes < fednas_payload / 2

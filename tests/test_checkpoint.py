@@ -1,0 +1,144 @@
+"""Tests for checkpointing (repro.checkpoint)."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.checkpoint import (
+    load_genotype,
+    load_model,
+    restore_search_state,
+    save_genotype,
+    save_model,
+    save_search_state,
+)
+from repro.controller import ArchitecturePolicy
+from repro.data import iid_partition, synth_cifar10
+from repro.federated import FederatedSearchServer, Participant
+from repro.search_space import Genotype, Supernet, SupernetConfig
+
+TINY = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+def make_server(seed=0):
+    train, _ = synth_cifar10(seed=1, train_per_class=10, test_per_class=2, image_size=8)
+    shards = iid_partition(train, 3, rng=np.random.default_rng(0))
+    supernet = Supernet(TINY, rng=np.random.default_rng(seed + 1))
+    policy = ArchitecturePolicy(TINY.num_edges, rng=np.random.default_rng(seed + 2))
+    participants = [
+        Participant(k, s, batch_size=8, rng=np.random.default_rng(seed + 10 + k))
+        for k, s in enumerate(shards)
+    ]
+    return FederatedSearchServer(
+        supernet, policy, participants, rng=np.random.default_rng(seed + 4)
+    )
+
+
+class TestModelCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        a = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(0)))
+        b = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(1)))
+        path = tmp_path / "model.npz"
+        save_model(a, path)
+        load_model(b, path)
+        np.testing.assert_array_equal(
+            a.layers[0].weight.data, b.layers[0].weight.data
+        )
+
+    def test_load_shape_mismatch_rejected(self, tmp_path):
+        a = nn.Sequential(nn.Linear(4, 3))
+        b = nn.Sequential(nn.Linear(5, 3))
+        path = tmp_path / "model.npz"
+        save_model(a, path)
+        with pytest.raises((ValueError, KeyError)):
+            load_model(b, path)
+
+    def test_buffers_roundtrip(self, tmp_path):
+        a = nn.BatchNorm2d(3)
+        a(nn.Tensor(np.random.default_rng(0).normal(size=(4, 3, 2, 2))))
+        b = nn.BatchNorm2d(3)
+        path = tmp_path / "bn.npz"
+        save_model(a, path)
+        load_model(b, path)
+        np.testing.assert_array_equal(a.running_mean, b.running_mean)
+
+
+class TestGenotypeCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        genotype = Genotype(("sep_conv_3x3", "none"), ("skip_connect", "avg_pool_3x3"))
+        path = tmp_path / "genotype.json"
+        save_genotype(genotype, path)
+        assert load_genotype(path) == genotype
+
+
+class TestSearchStateCheckpoint:
+    def test_resume_continues_identically(self, tmp_path):
+        """Save mid-search, restore into a fresh server, and verify state
+        (weights, alpha, momentum, baseline, round, recorder) matches."""
+        server = make_server(seed=3)
+        server.run(5)
+        path = tmp_path / "search.ckpt"
+        save_search_state(server, path)
+
+        restored = make_server(seed=99)  # different init on purpose
+        restore_search_state(restored, path)
+
+        assert restored.round == server.round
+        assert restored.clock_s == server.clock_s
+        assert restored.baseline.value == server.baseline.value
+        np.testing.assert_array_equal(restored.policy.alpha, server.policy.alpha)
+        sa, sb = server.supernet.state_dict(), restored.supernet.state_dict()
+        for name in sa:
+            np.testing.assert_array_equal(sa[name], sb[name])
+        for va, vb in zip(
+            server.theta_optimizer._velocity, restored.theta_optimizer._velocity
+        ):
+            if va is None:
+                assert vb is None
+            else:
+                np.testing.assert_array_equal(va, vb)
+        assert restored.recorder.series == server.recorder.series
+
+    def test_restored_server_can_continue(self, tmp_path):
+        server = make_server(seed=3)
+        server.run(3)
+        path = tmp_path / "search.ckpt"
+        save_search_state(server, path)
+        restored = make_server(seed=3)
+        restore_search_state(restored, path)
+        result = restored.run_round()
+        assert result.round_index == 3
+
+    def test_pending_updates_not_restored(self, tmp_path):
+        from repro.federated import DistributionDelay
+
+        server = make_server(seed=3)
+        server.delay_model = DistributionDelay(
+            [0.2, 0.8], staleness_threshold=2, rng=np.random.default_rng(0)
+        )
+        server.run(2)
+        assert server._pending  # stragglers in flight
+        path = tmp_path / "search.ckpt"
+        save_search_state(server, path)
+        restored = make_server(seed=3)
+        restore_search_state(restored, path)
+        assert restored._pending == []
+
+    def test_version_check(self, tmp_path):
+        import json
+        import zipfile
+
+        server = make_server()
+        path = tmp_path / "search.ckpt"
+        save_search_state(server, path)
+        # Corrupt the version field.
+        with zipfile.ZipFile(path) as archive:
+            contents = {name: archive.read(name) for name in archive.namelist()}
+        meta = json.loads(contents["meta.json"])
+        meta["format_version"] = 999
+        contents["meta.json"] = json.dumps(meta).encode()
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, payload in contents.items():
+                archive.writestr(name, payload)
+        with pytest.raises(ValueError):
+            restore_search_state(make_server(), path)

@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, config_from_args, main
+
+
+class TestArgumentParsing:
+    def parse(self, argv):
+        return config_from_args(build_parser().parse_args(argv))
+
+    def test_defaults(self):
+        config = self.parse([])
+        assert config.dataset == "cifar10"
+        assert not config.non_iid
+        assert config.staleness_mix is None
+        assert config.mobility_modes is None
+
+    def test_non_iid_flag(self):
+        assert self.parse(["--non-iid"]).non_iid
+
+    def test_participants_override(self):
+        assert self.parse(["--participants", "7"]).num_participants == 7
+
+    def test_staleness_mixes(self):
+        severe = self.parse(["--staleness", "severe"])
+        assert severe.staleness_mix == (0.3, 0.4, 0.2, 0.1)
+        slight = self.parse(["--staleness", "slight"])
+        assert slight.staleness_mix[0] == 0.9
+
+    def test_staleness_policy(self):
+        config = self.parse(["--staleness", "severe", "--staleness-policy", "throw"])
+        assert config.staleness_policy == "throw"
+
+    def test_mobility_modes(self):
+        config = self.parse(["--mobility", "bus", "car"])
+        assert config.mobility_modes == ("bus", "car")
+
+    def test_paper_profile(self):
+        config = self.parse(["--profile", "paper"])
+        assert config.batch_size == 256
+        assert config.search_rounds == 6000
+
+    def test_round_overrides(self):
+        config = self.parse(["--warmup-rounds", "3", "--search-rounds", "9"])
+        assert config.warmup_rounds == 3
+        assert config.search_rounds == 9
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "imagenet"])
+
+
+class TestEndToEnd:
+    def test_main_runs_tiny_pipeline(self, capsys):
+        code = main(
+            [
+                "--participants", "2",
+                "--warmup-rounds", "2",
+                "--search-rounds", "3",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "searched architecture" in out
+        assert "test accuracy" in out

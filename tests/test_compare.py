@@ -1,0 +1,73 @@
+"""Tests for the method-comparison utility (repro.compare)."""
+
+import numpy as np
+import pytest
+
+from repro import ExperimentConfig
+from repro.compare import (
+    SUPPORTED_METHODS,
+    MethodResult,
+    compare_methods,
+    comparison_markdown,
+)
+
+
+def tiny_config(**overrides):
+    base = dict(
+        num_participants=2,
+        train_per_class=6,
+        test_per_class=2,
+        warmup_rounds=2,
+        search_rounds=3,
+        fl_retrain_rounds=2,
+        batch_size=8,
+        seed=0,
+    )
+    base.update(overrides)
+    return ExperimentConfig.small(**base)
+
+
+class TestCompareMethods:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            compare_methods(tiny_config(), methods=("ours", "alchemy"))
+
+    def test_ours_only(self):
+        results = compare_methods(tiny_config(), methods=("ours",))
+        assert len(results) == 1
+        row = results[0]
+        assert row.method == "Ours"
+        assert row.is_federated and row.is_nas
+        assert 0.0 <= row.error_percent <= 100.0
+        assert row.parameters > 0
+
+    def test_all_methods_produce_rows(self):
+        results = compare_methods(tiny_config(), methods=SUPPORTED_METHODS)
+        assert [r.method for r in results] == [
+            "Ours", "FedAvg (fixed)", "FedNAS", "EvoFedNAS",
+        ]
+        strategies = {r.method: r.strategy for r in results}
+        assert strategies["Ours"] == "RL"
+        assert strategies["FedAvg (fixed)"] == "hand"
+        assert strategies["FedNAS"] == "grad"
+        assert strategies["EvoFedNAS"] == "evol"
+
+    def test_fedavg_is_not_nas(self):
+        results = compare_methods(tiny_config(), methods=("fedavg",))
+        assert not results[0].is_nas
+
+
+class TestComparisonMarkdown:
+    def test_renders_paper_layout(self):
+        rows = [
+            MethodResult("Ours", 13.36, 3600000, "RL", True, True),
+            MethodResult("FedAvg", 15.00, 58200000, "hand", True, False),
+        ]
+        text = comparison_markdown(rows)
+        lines = text.split("\n")
+        assert lines[0].startswith("| Method | Error(%) | Params")
+        assert "13.36" in text
+        assert "| hand |" in text
+        # NAS column empty for FedAvg.
+        fedavg_line = [l for l in lines if "FedAvg" in l][0]
+        assert fedavg_line.rstrip().endswith("|  |")

@@ -1,0 +1,98 @@
+"""Tests for search diagnostics: DARTS+ early stopping and op-preference
+tracking."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DartsConfig, DartsSearcher
+from repro.controller import ArchitecturePolicy
+from repro.data import iid_partition, synth_cifar10
+from repro.federated import FederatedSearchServer, Participant
+from repro.search_space import PRIMITIVES, Supernet, SupernetConfig
+
+TINY = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return synth_cifar10(seed=0, train_per_class=8, test_per_class=4, image_size=8)
+
+
+class TestDartsPlusEarlyStop:
+    def test_skip_fraction_computation(self, datasets):
+        train, test = datasets
+        searcher = DartsSearcher(
+            TINY, train, test, DartsConfig(batch_size=8), rng=np.random.default_rng(0)
+        )
+        skip = PRIMITIVES.index("skip_connect")
+        searcher.alpha_normal.data[:, :] = 0.0
+        searcher.alpha_normal.data[:, skip] = 5.0
+        assert searcher.skip_connect_fraction() == 1.0
+        searcher.alpha_normal.data[0, skip] = -5.0
+        assert searcher.skip_connect_fraction() == pytest.approx(
+            1.0 - 1.0 / TINY.num_edges
+        )
+
+    def test_early_stop_halts_search(self, datasets):
+        train, test = datasets
+        config = DartsConfig(batch_size=8, early_stop_skip_fraction=0.5)
+        searcher = DartsSearcher(TINY, train, test, config, rng=np.random.default_rng(1))
+        skip = PRIMITIVES.index("skip_connect")
+        searcher.alpha_normal.data[:, skip] = 10.0  # collapse from the start
+        outcome = searcher.search(20)
+        assert len(outcome.recorder.get("train_accuracy")) == 1  # stopped after 1 step
+
+    def test_no_early_stop_by_default(self, datasets):
+        train, test = datasets
+        searcher = DartsSearcher(
+            TINY, train, test, DartsConfig(batch_size=8), rng=np.random.default_rng(2)
+        )
+        skip = PRIMITIVES.index("skip_connect")
+        searcher.alpha_normal.data[:, skip] = 10.0
+        outcome = searcher.search(3)
+        assert len(outcome.recorder.get("train_accuracy")) == 3
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DartsConfig(early_stop_skip_fraction=0.0)
+        with pytest.raises(ValueError):
+            DartsConfig(early_stop_skip_fraction=1.5)
+
+
+class TestOpPreferenceTracking:
+    def make_server(self):
+        train, _ = synth_cifar10(
+            seed=1, train_per_class=8, test_per_class=2, image_size=8
+        )
+        shards = iid_partition(train, 2, rng=np.random.default_rng(0))
+        supernet = Supernet(TINY, rng=np.random.default_rng(1))
+        policy = ArchitecturePolicy(TINY.num_edges, rng=np.random.default_rng(2))
+        participants = [
+            Participant(k, s, batch_size=8, rng=np.random.default_rng(10 + k))
+            for k, s in enumerate(shards)
+        ]
+        return FederatedSearchServer(
+            supernet, policy, participants, rng=np.random.default_rng(3)
+        )
+
+    def test_series_recorded_for_every_op(self):
+        server = self.make_server()
+        server.run(3)
+        for name in PRIMITIVES:
+            series = server.recorder.get(f"op_preference/{name}")
+            assert len(series) == 3, name
+
+    def test_preferences_sum_to_one(self):
+        server = self.make_server()
+        server.run(2)
+        for t in range(2):
+            total = sum(
+                server.recorder.get(f"op_preference/{name}")[t] for name in PRIMITIVES
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_forced_policy_shows_in_preferences(self):
+        server = self.make_server()
+        server.policy.alpha[:, :, 6] = 30.0  # dil_conv_3x3 everywhere
+        server.run_round()
+        assert server.recorder.last("op_preference/dil_conv_3x3") == 1.0

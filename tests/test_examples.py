@@ -1,0 +1,37 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fastest one is executed end to
+end.  (The longer examples are exercised implicitly: they are thin
+wrappers over the same pipeline/bench code paths the integration tests
+and benches cover.)
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least three examples"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_adaptive_transmission_example_runs(capsys, monkeypatch):
+    """The fastest example executes end to end and prints its table."""
+    monkeypatch.setattr(sys, "argv", ["adaptive_transmission.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "adaptive_transmission.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "adaptive" in out
+    assert "Bus+Car" in out

@@ -1,0 +1,136 @@
+"""Equivalence and conservation properties of the federated server.
+
+These tests pin down algebraic identities the implementation must
+satisfy, independent of any accuracy outcome:
+
+* compensation with λ = 0 is exactly the "use" policy,
+* every dispatched update is eventually fresh, stale-used, dropped, or
+  still pending (conservation),
+* hard synchronisation with identical seeds is bit-reproducible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller import ArchitecturePolicy
+from repro.data import iid_partition, synth_cifar10
+from repro.federated import (
+    DistributionDelay,
+    FederatedSearchServer,
+    Participant,
+    SearchServerConfig,
+)
+from repro.search_space import Supernet, SupernetConfig
+
+TINY = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+def make_server(staleness_policy, lam, seed=0, mix=(0.4, 0.4, 0.2), threshold=2):
+    train, _ = synth_cifar10(seed=1, train_per_class=10, test_per_class=2, image_size=8)
+    shards = iid_partition(train, 3, rng=np.random.default_rng(0))
+    supernet = Supernet(TINY, rng=np.random.default_rng(seed + 1))
+    policy = ArchitecturePolicy(TINY.num_edges, rng=np.random.default_rng(seed + 2))
+    participants = [
+        Participant(k, s, batch_size=8, rng=np.random.default_rng(seed + 10 + k))
+        for k, s in enumerate(shards)
+    ]
+    delay = DistributionDelay(
+        list(mix), staleness_threshold=threshold, rng=np.random.default_rng(seed + 3)
+    )
+    config = SearchServerConfig(
+        staleness_policy=staleness_policy,
+        compensation_lambda=lam,
+        staleness_threshold=threshold,
+    )
+    return FederatedSearchServer(
+        supernet,
+        policy,
+        participants,
+        config=config,
+        delay_model=delay,
+        rng=np.random.default_rng(seed + 4),
+    )
+
+
+class TestLambdaZeroEquivalence:
+    def test_compensate_lambda0_equals_use(self):
+        """Eq. 13/15 with λ = 0 reduce to the identity, so the whole
+        server trajectory must match the 'use' policy bit for bit."""
+        a = make_server("use", lam=0.7, seed=5)
+        b = make_server("compensate", lam=0.0, seed=5)
+        a.run(8)
+        b.run(8)
+        np.testing.assert_array_equal(a.policy.alpha, b.policy.alpha)
+        sa, sb = a.supernet.state_dict(), b.supernet.state_dict()
+        for name in sa:
+            np.testing.assert_array_equal(sa[name], sb[name])
+
+    def test_compensate_positive_lambda_differs_from_use(self):
+        a = make_server("use", lam=0.0, seed=6)
+        b = make_server("compensate", lam=2.0, seed=6)
+        a.run(8)
+        b.run(8)
+        assert not np.allclose(a.policy.alpha, b.policy.alpha)
+
+
+class TestConservation:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_update_conservation(self, seed):
+        """fresh + stale_used + dropped + pending == dispatched."""
+        server = make_server("compensate", lam=0.5, seed=seed)
+        rounds = 6
+        results = server.run(rounds)
+        accounted = sum(
+            r.num_fresh + r.num_stale_used + r.num_dropped for r in results
+        )
+        pending = len(server._pending)
+        dispatched = rounds * len(server.participants)
+        assert accounted + pending == dispatched
+
+    def test_hard_sync_conserves_each_round(self):
+        from repro.federated import HardSync
+
+        server = make_server("compensate", lam=0.5)
+        server.delay_model = HardSync()
+        for _ in range(4):
+            result = server.run_round()
+            assert result.num_fresh == len(server.participants)
+            assert result.num_stale_used == 0
+            assert result.num_dropped == 0
+        assert len(server._pending) == 0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_trajectories(self):
+        a = make_server("compensate", lam=1.0, seed=9)
+        b = make_server("compensate", lam=1.0, seed=9)
+        ra = a.run(6)
+        rb = b.run(6)
+        np.testing.assert_array_equal(a.policy.alpha, b.policy.alpha)
+        for x, y in zip(ra, rb):
+            assert x.mean_reward == y.mean_reward or (
+                np.isnan(x.mean_reward) and np.isnan(y.mean_reward)
+            )
+
+    def test_different_seeds_differ(self):
+        a = make_server("compensate", lam=1.0, seed=9)
+        b = make_server("compensate", lam=1.0, seed=10)
+        a.run(6)
+        b.run(6)
+        assert not np.allclose(a.policy.alpha, b.policy.alpha)
+
+
+class TestRecorderSeries:
+    def test_server_records_all_series(self):
+        server = make_server("compensate", lam=0.5)
+        server.run(3)
+        for series in (
+            "train_accuracy",
+            "round_duration_s",
+            "max_transmission_latency_s",
+            "policy_entropy",
+        ):
+            assert len(server.recorder.get(series)) == 3, series

@@ -1,0 +1,121 @@
+"""Cross-cutting invariants, mostly property-based.
+
+Algebraic identities the system must satisfy regardless of data or
+hyperparameters: FedAvg of identical states is the identity, weighted
+averaging is affine-consistent, genotype masks survive roundtrips, the
+policy distribution is shift-invariant, and compensation is exact on
+quadratic objectives.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller import ArchitecturePolicy
+from repro.federated import FedAvgTrainer, compensate_weight_gradients
+from repro.search_space import NUM_OPERATIONS, ArchitectureMask, Genotype
+
+
+class TestFedAvgAlgebra:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        copies=st.integers(1, 5),
+    )
+    def test_average_of_identical_states_is_identity(self, seed, copies):
+        rng = np.random.default_rng(seed)
+        state = {"w": rng.normal(size=(3, 2)), "b": rng.normal(size=2)}
+        averaged = FedAvgTrainer._weighted_average(
+            [dict(state) for _ in range(copies)], [1.0] * copies
+        )
+        for name in state:
+            np.testing.assert_allclose(averaged[name], state[name])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_weighted_average_is_convex_combination(self, seed):
+        rng = np.random.default_rng(seed)
+        a = {"w": rng.normal(size=4)}
+        b = {"w": rng.normal(size=4)}
+        averaged = FedAvgTrainer._weighted_average([a, b], [3.0, 1.0])
+        np.testing.assert_allclose(averaged["w"], 0.75 * a["w"] + 0.25 * b["w"])
+        # Bounded by the extremes elementwise.
+        lower = np.minimum(a["w"], b["w"])
+        upper = np.maximum(a["w"], b["w"])
+        assert (averaged["w"] >= lower - 1e-12).all()
+        assert (averaged["w"] <= upper + 1e-12).all()
+
+    def test_weights_scale_invariance(self):
+        a = {"w": np.array([1.0])}
+        b = {"w": np.array([3.0])}
+        x = FedAvgTrainer._weighted_average([a, b], [1.0, 2.0])
+        y = FedAvgTrainer._weighted_average([a, b], [10.0, 20.0])
+        np.testing.assert_allclose(x["w"], y["w"])
+
+
+class TestPolicyInvariances:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), shift=st.floats(-10, 10))
+    def test_distribution_shift_invariance(self, seed, shift):
+        """Adding a constant to an edge's logits leaves the sampling
+        distribution unchanged (softmax shift invariance)."""
+        policy = ArchitecturePolicy(3, rng=np.random.default_rng(seed), init_std=1.0)
+        before = policy.probabilities()
+        policy.alpha[0, 1, :] += shift
+        after = policy.probabilities()
+        np.testing.assert_allclose(before, after, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_log_prob_consistent_with_probabilities(self, seed):
+        policy = ArchitecturePolicy(3, rng=np.random.default_rng(seed), init_std=1.0)
+        mask = policy.sample_mask()
+        probs = policy.probabilities()
+        manual = 0.0
+        for e in range(3):
+            manual += np.log(probs[0, e, mask.normal[e]])
+            manual += np.log(probs[1, e, mask.reduce[e]])
+        assert policy.log_prob(mask) == pytest.approx(manual)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_entropy_bounds(self, seed):
+        policy = ArchitecturePolicy(4, rng=np.random.default_rng(seed), init_std=2.0)
+        entropy = policy.entropy()
+        assert 0.0 <= entropy <= np.log(NUM_OPERATIONS) + 1e-9
+
+
+class TestGenotypeRoundtrips:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), edges=st.integers(1, 14))
+    def test_mask_genotype_json_roundtrip(self, seed, edges):
+        rng = np.random.default_rng(seed)
+        mask = ArchitectureMask.from_arrays(
+            rng.integers(0, NUM_OPERATIONS, size=edges),
+            rng.integers(0, NUM_OPERATIONS, size=edges),
+        )
+        genotype = Genotype.from_mask(mask)
+        assert Genotype.from_json(genotype.to_json()).to_mask() == mask
+
+
+class TestCompensationExactness:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_exact_on_separable_quadratics_with_matching_curvature(self, seed):
+        """For L(w) = sum a_i w_i^2, the true gradient drift is
+        2a ⊙ (w' − w).  Compensation with λ g ⊙ g approximates the
+        diagonal Hessian 2a by g²; at the point where g² = 2a (i.e.
+        |g| = sqrt(2a)) and λ = 1 the repair is exact."""
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(0.5, 2.0, size=5)
+        # Choose w so that g(w) = 2 a w satisfies g² = 2a  =>  w = 1/sqrt(2a).
+        w = 1.0 / np.sqrt(2 * a)
+        drift = rng.normal(scale=0.1, size=5)
+        w_fresh = w + drift
+        g_stale = 2 * a * w
+        g_fresh = 2 * a * w_fresh
+        repaired = compensate_weight_gradients(
+            {"w": g_stale}, {"w": w_fresh}, {"w": w}, lam=1.0
+        )["w"]
+        np.testing.assert_allclose(repaired, g_fresh, atol=1e-9)

@@ -1,0 +1,61 @@
+"""Edge-case tests for the phase helpers (repro.core.phases)."""
+
+import numpy as np
+import pytest
+
+from repro.controller import ArchitecturePolicy
+from repro.core.phases import run_warmup
+from repro.data import iid_partition, synth_cifar10
+from repro.federated import FederatedSearchServer, Participant
+from repro.search_space import Supernet, SupernetConfig
+
+TINY = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+def make_server(seed=0):
+    train, _ = synth_cifar10(seed=1, train_per_class=8, test_per_class=2, image_size=8)
+    shards = iid_partition(train, 2, rng=np.random.default_rng(0))
+    supernet = Supernet(TINY, rng=np.random.default_rng(seed + 1))
+    policy = ArchitecturePolicy(TINY.num_edges, rng=np.random.default_rng(seed + 2))
+    participants = [
+        Participant(k, s, batch_size=8, rng=np.random.default_rng(seed + 10 + k))
+        for k, s in enumerate(shards)
+    ]
+    return FederatedSearchServer(
+        supernet, policy, participants, rng=np.random.default_rng(seed + 3)
+    )
+
+
+class TestRunWarmup:
+    def test_restores_update_alpha_flag(self):
+        server = make_server()
+        assert server.config.update_alpha
+        run_warmup(server, 2)
+        assert server.config.update_alpha
+
+    def test_restores_flag_even_on_failure(self):
+        server = make_server()
+
+        class Boom(Exception):
+            pass
+
+        original = server.run_round
+
+        def exploding():
+            raise Boom
+
+        server.run_round = exploding
+        with pytest.raises(Boom):
+            run_warmup(server, 1)
+        assert server.config.update_alpha
+        server.run_round = original
+
+    def test_preserves_a_pre_disabled_flag(self):
+        server = make_server()
+        server.config.update_alpha = False
+        run_warmup(server, 1)
+        assert not server.config.update_alpha
+
+    def test_zero_rounds(self):
+        server = make_server()
+        assert run_warmup(server, 0) == []

@@ -1,0 +1,121 @@
+"""Tests for repro.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import CurveRecorder
+from repro.reporting import (
+    ascii_curve,
+    csv_table,
+    curves_to_csv,
+    markdown_table,
+    summarize_rounds,
+)
+
+
+class TestMarkdownTable:
+    def test_basic(self):
+        text = markdown_table(["a", "b"], [[1, 2.5], ["x", 0.125]])
+        lines = text.split("\n")
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "2.5000" in lines[2]
+        assert "0.1250" in lines[3]
+
+    def test_precision(self):
+        text = markdown_table(["v"], [[1.23456]], precision=2)
+        assert "1.23" in text and "1.2346" not in text
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a", "b"], [[1]])
+
+
+class TestCsvTable:
+    def test_roundtrip(self):
+        import csv as csv_module
+        import io
+
+        text = csv_table(["a", "b"], [[1, "x,y"], [2, "z"]])
+        rows = list(csv_module.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "x,y"], ["2", "z"]]
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            csv_table(["a"], [[1, 2]])
+
+
+class TestCurvesToCsv:
+    def test_aligned_columns(self):
+        rec = CurveRecorder()
+        for v in (0.1, 0.2, 0.3):
+            rec.record("acc", v)
+        rec.record("loss", 1.0)
+        text = curves_to_csv(rec, ["acc", "loss"])
+        lines = text.strip().split("\r\n") if "\r\n" in text else text.strip().split("\n")
+        assert lines[0] == "round,acc,loss"
+        assert lines[1].startswith("0,0.1,1.0")
+        assert lines[3].startswith("2,0.3,")  # loss padded empty
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(KeyError):
+            curves_to_csv(CurveRecorder(), ["nope"])
+
+    def test_default_exports_all_sorted(self):
+        rec = CurveRecorder()
+        rec.record("b", 1.0)
+        rec.record("a", 2.0)
+        header = curves_to_csv(rec).split("\n")[0]
+        assert header.strip() == "round,a,b"
+
+
+class TestAsciiCurve:
+    def test_renders_extremes(self):
+        text = ascii_curve([0.0, 1.0], width=10, height=4, label="acc")
+        lines = text.split("\n")
+        assert lines[0].startswith("acc")
+        assert "*" in lines[1]  # max on top row
+        assert "*" in lines[-1]  # min on bottom row
+
+    def test_constant_series(self):
+        text = ascii_curve([0.5] * 5, width=10, height=3)
+        assert text.count("*") == 5
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_curve([], label="x")
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            ascii_curve([1.0, 2.0], width=1)
+
+    def test_nan_filtered(self):
+        text = ascii_curve([np.nan, 1.0, np.nan, 2.0], width=10, height=3)
+        assert "*" in text
+
+
+class TestSummarizeRounds:
+    def test_aggregates(self):
+        from repro.federated import RoundResult
+
+        results = [
+            RoundResult(
+                round_index=i,
+                mean_reward=0.1 * (i + 1),
+                num_fresh=2,
+                num_stale_used=1,
+                num_dropped=0,
+                round_duration_s=0.5,
+                max_transmission_latency_s=0.0,
+                mean_submodel_bytes=100.0,
+                policy_entropy=1.0,
+                num_offline=1,
+            )
+            for i in range(5)
+        ]
+        summary = summarize_rounds(results)
+        assert summary["rounds"] == 5
+        assert summary["fresh_updates"] == 10
+        assert summary["stale_updates_used"] == 5
+        assert summary["offline_slots"] == 5
+        assert summary["total_time_s"] == pytest.approx(2.5)
+        assert summary["final_accuracy"] == pytest.approx(0.5)

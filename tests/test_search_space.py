@@ -1,0 +1,351 @@
+"""Tests for the DARTS search space (operations, cells, supernet, genotype)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.search_space import (
+    NUM_OPERATIONS,
+    PRIMITIVES,
+    ArchitectureMask,
+    CellTopology,
+    Genotype,
+    MixedEdge,
+    Supernet,
+    SupernetConfig,
+    build_derived_network,
+    derive_genotype,
+    make_operation,
+)
+
+RNG = np.random.default_rng(0)
+SMALL = SupernetConfig(num_classes=5, init_channels=4, num_cells=3, steps=2)
+
+
+def random_mask(config=SMALL, seed=0):
+    rng = np.random.default_rng(seed)
+    e = config.num_edges
+    return ArchitectureMask.from_arrays(
+        rng.integers(0, NUM_OPERATIONS, size=e), rng.integers(0, NUM_OPERATIONS, size=e)
+    )
+
+
+class TestOperations:
+    @pytest.mark.parametrize("name", PRIMITIVES)
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_all_ops_produce_correct_shapes(self, name, stride):
+        op = make_operation(name, channels=4, stride=stride, rng=np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(2, 4, 8, 8)))
+        out = op(x)
+        expected_hw = 8 // stride
+        assert out.shape == (2, 4, expected_hw, expected_hw)
+
+    @pytest.mark.parametrize("name", ["sep_conv_3x3", "dil_conv_5x5", "max_pool_3x3"])
+    def test_ops_differentiable(self, name):
+        op = make_operation(name, channels=2, stride=1, rng=np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        loss = (op(x) ** 2).sum()
+        loss.backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+    def test_none_op_is_zero(self):
+        op = make_operation("none", channels=3, stride=1)
+        x = Tensor(RNG.normal(size=(1, 3, 4, 4)))
+        assert (op(x).data == 0).all()
+
+    def test_skip_connect_stride1_is_identity(self):
+        op = make_operation("skip_connect", channels=3, stride=1)
+        x = Tensor(RNG.normal(size=(1, 3, 4, 4)))
+        np.testing.assert_array_equal(op(x).data, x.data)
+
+    def test_skip_connect_stride2_halves_odd_input(self):
+        op = make_operation("skip_connect", channels=4, stride=2, rng=np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(1, 4, 7, 7)))
+        out = op(x)
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            make_operation("conv_7x7", channels=4, stride=1)
+
+    def test_parameter_free_ops(self):
+        for name in ("none", "skip_connect"):
+            op = make_operation(name, channels=4, stride=1)
+            assert op.num_parameters() == 0
+
+
+class TestCellTopology:
+    def test_edge_count_formula(self):
+        for steps in range(1, 6):
+            topo = CellTopology(steps)
+            assert topo.num_edges == steps * (steps + 3) // 2
+            assert len(topo.edges) == topo.num_edges
+
+    def test_darts_four_step_has_14_edges(self):
+        assert CellTopology(4).num_edges == 14
+
+    def test_edges_are_dag_ordered(self):
+        topo = CellTopology(3)
+        for src, dst in topo.edges:
+            assert src < dst
+
+    def test_incoming_edges(self):
+        topo = CellTopology(2)
+        # node 2 gets edges 0,1 (from nodes 0,1); node 3 gets 2,3,4.
+        assert topo.incoming(2) == [0, 1]
+        assert topo.incoming(3) == [2, 3, 4]
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            CellTopology(0)
+
+
+class TestMixedEdge:
+    def test_full_edge_carries_all_ops(self):
+        edge = MixedEdge(4, 1, rng=np.random.default_rng(0))
+        assert edge.op_indices == tuple(range(NUM_OPERATIONS))
+
+    def test_restricted_edge_keeps_original_index(self):
+        edge = MixedEdge(4, 1, rng=np.random.default_rng(0), op_indices=[5])
+        names = [n for n, _ in edge.named_parameters()]
+        assert all(n.startswith("5.") for n in names)
+
+    def test_forward_selected_op(self):
+        edge = MixedEdge(4, 1, rng=np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(1, 4, 6, 6)))
+        out = edge(x, 3)  # skip_connect
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_forward_missing_op_raises(self):
+        edge = MixedEdge(4, 1, rng=np.random.default_rng(0), op_indices=[1, 2])
+        x = Tensor(RNG.normal(size=(1, 4, 6, 6)))
+        with pytest.raises(KeyError):
+            edge(x, 5)
+
+    def test_forward_mixed_weights(self):
+        edge = MixedEdge(4, 1, rng=np.random.default_rng(0), op_indices=[0, 3])
+        x = Tensor(RNG.normal(size=(1, 4, 4, 4)))
+        w = Tensor(np.zeros(NUM_OPERATIONS))
+        w.data[3] = 1.0
+        out = edge.forward_mixed(x, w)
+        np.testing.assert_allclose(out.data, x.data)  # weight all on skip
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError):
+            MixedEdge(4, 1, op_indices=[])
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            MixedEdge(4, 1, op_indices=[NUM_OPERATIONS])
+
+
+class TestSupernetStructure:
+    def test_reduction_indices_standard(self):
+        assert SupernetConfig(num_cells=8).reduction_indices == (2, 5)
+        assert SupernetConfig(num_cells=3).reduction_indices == (1, 2)
+        assert SupernetConfig(num_cells=1).reduction_indices == ()
+
+    def test_forward_shapes(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        x = RNG.normal(size=(2, 3, 16, 16))
+        logits = net(x, random_mask())
+        assert logits.shape == (2, 5)
+
+    def test_forward_requires_mask_for_full_supernet(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            net(RNG.normal(size=(1, 3, 16, 16)))
+
+    def test_forward_mixed_shapes(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        e = SMALL.num_edges
+        w = Tensor(np.full((e, NUM_OPERATIONS), 1.0 / NUM_OPERATIONS))
+        logits = net.forward_mixed(RNG.normal(size=(2, 3, 16, 16)), w, w)
+        assert logits.shape == (2, 5)
+
+    def test_mixed_rejected_on_submodel(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        sub = net.extract_submodel(random_mask())
+        e = SMALL.num_edges
+        w = Tensor(np.zeros((e, NUM_OPERATIONS)))
+        with pytest.raises(ValueError):
+            sub.forward_mixed(RNG.normal(size=(1, 3, 16, 16)), w, w)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SupernetConfig(num_cells=0)
+        with pytest.raises(ValueError):
+            SupernetConfig(init_channels=0)
+
+
+class TestSubmodelExtraction:
+    def test_submodel_parameters_are_subset(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        sub = net.extract_submodel(random_mask())
+        net_names = set(net.state_dict())
+        sub_names = set(sub.state_dict())
+        assert sub_names < net_names
+
+    def test_submodel_weights_copied(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        mask = random_mask()
+        sub = net.extract_submodel(mask)
+        net_state = net.state_dict()
+        for name, value in sub.state_dict().items():
+            np.testing.assert_array_equal(value, net_state[name])
+
+    def test_submodel_is_much_smaller(self):
+        """The paper's headline efficiency claim: a sub-model is ~1/N of
+        the supernet."""
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        sizes = []
+        for seed in range(5):
+            sub = net.extract_submodel(random_mask(seed=seed))
+            sizes.append(sub.num_parameters())
+        assert max(sizes) < net.num_parameters() / 2
+        assert np.mean(sizes) < net.num_parameters() / 3
+
+    def test_submodel_forward_matches_masked_supernet(self):
+        """Running the pruned sub-model must equal running the supernet
+        under the same mask (in eval mode, where BN uses running stats)."""
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        mask = random_mask(seed=3)
+        sub = net.extract_submodel(mask)
+        net.eval()
+        sub.eval()
+        x = RNG.normal(size=(2, 3, 16, 16))
+        np.testing.assert_allclose(sub(x).data, net(x, mask).data, atol=1e-10)
+
+    def test_submodel_state_matches_names(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        mask = random_mask(seed=1)
+        state = net.submodel_state(mask)
+        sub = net.extract_submodel(mask)
+        assert set(state) == set(sub.state_dict())
+
+    def test_extract_from_submodel_rejected(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        sub = net.extract_submodel(random_mask())
+        with pytest.raises(ValueError):
+            sub.extract_submodel(random_mask())
+
+    def test_wrong_mask_size_rejected(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        bad = ArchitectureMask((0,), (0,))
+        with pytest.raises(ValueError):
+            net.extract_submodel(bad)
+
+    def test_scatter_gradients_zero_fills(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        mask = random_mask(seed=2)
+        sub = net.extract_submodel(mask)
+        grads = {name: np.ones_like(p.data) for name, p in sub.named_parameters()}
+        full = net.scatter_gradients(grads)
+        assert set(full) == {n for n, _ in net.named_parameters()}
+        for name, _ in net.named_parameters():
+            if name in grads:
+                assert (full[name] == 1).all()
+            else:
+                assert (full[name] == 0).all()
+
+    def test_submodel_trains_independently(self):
+        net = Supernet(SMALL, rng=np.random.default_rng(0))
+        sub = net.extract_submodel(random_mask(seed=4))
+        x = RNG.normal(size=(4, 3, 16, 16))
+        y = RNG.integers(0, 5, size=4)
+        loss = nn.functional.cross_entropy(sub(x), y)
+        loss.backward()
+        grads = [p.grad for p in sub.parameters() if p.grad is not None]
+        assert grads and all(np.isfinite(g).all() for g in grads)
+        # Supernet parameters untouched.
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestArchitectureMask:
+    def test_onehot_roundtrip(self):
+        mask = random_mask(seed=7)
+        onehot = mask.as_onehot()
+        assert onehot.shape == (2, SMALL.num_edges, NUM_OPERATIONS)
+        np.testing.assert_array_equal(onehot.sum(axis=2), np.ones((2, SMALL.num_edges)))
+        np.testing.assert_array_equal(onehot[0].argmax(axis=1), mask.normal)
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitectureMask((99,), (0,))
+
+
+class TestGenotype:
+    def test_derive_picks_argmax(self):
+        e = SMALL.num_edges
+        alpha = np.zeros((2, e, NUM_OPERATIONS))
+        alpha[0, :, 4] = 5.0  # sep_conv_3x3 everywhere on normal
+        alpha[1, :, 1] = 5.0  # max_pool on reduce
+        genotype = derive_genotype(alpha)
+        assert all(op == "sep_conv_3x3" for op in genotype.normal)
+        assert all(op == "max_pool_3x3" for op in genotype.reduce)
+
+    def test_derive_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            derive_genotype(np.zeros((2, 5)))
+
+    def test_json_roundtrip(self):
+        genotype = Genotype.from_mask(random_mask(seed=9))
+        restored = Genotype.from_json(genotype.to_json())
+        assert restored == genotype
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Genotype(("warp_conv",), ("none",))
+
+    def test_mask_roundtrip(self):
+        mask = random_mask(seed=11)
+        assert Genotype.from_mask(mask).to_mask() == mask
+
+    def test_derived_network_trains(self):
+        genotype = Genotype.from_mask(random_mask(seed=5))
+        model = build_derived_network(genotype, SMALL, rng=np.random.default_rng(0))
+        assert model.config.affine  # retraining enables affine BN
+        x = RNG.normal(size=(2, 3, 16, 16))
+        y = np.array([0, 3])
+        loss = nn.functional.cross_entropy(model(x), y)
+        loss.backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+    def test_derived_network_rejects_wrong_edge_count(self):
+        genotype = Genotype(("none",), ("none",))
+        with pytest.raises(ValueError):
+            build_derived_network(genotype, SMALL)
+
+    def test_describe_mentions_ops(self):
+        genotype = Genotype.from_mask(random_mask(seed=5))
+        text = genotype.describe()
+        assert "normal:" in text and "reduce:" in text
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_any_mask_runs_and_classifies(seed):
+    """Every architecture in the search space is executable end to end."""
+    net = Supernet(SMALL, rng=np.random.default_rng(1))
+    mask = random_mask(seed=seed)
+    x = np.random.default_rng(seed).normal(size=(1, 3, 16, 16))
+    logits = net(x, mask)
+    assert logits.shape == (1, 5)
+    assert np.isfinite(logits.data).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_submodel_names_always_subset(seed):
+    net = Supernet(SMALL, rng=np.random.default_rng(2))
+    mask = random_mask(seed=seed)
+    names = net.submodel_parameter_names(mask)
+    assert set(names) <= set(net.state_dict())
+    # Every non-edge parameter is always kept.
+    for name in net.state_dict():
+        if not name.startswith("cells."):
+            assert name in names

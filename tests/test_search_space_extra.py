@@ -1,0 +1,145 @@
+"""Additional edge-case tests for the search space and nn substrate."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.search_space import (
+    NUM_OPERATIONS,
+    PRIMITIVES,
+    ArchitectureMask,
+    DilConv,
+    FactorizedReduce,
+    SepConv,
+    Supernet,
+    SupernetConfig,
+)
+
+from .gradcheck import assert_gradients_close
+
+RNG = np.random.default_rng(7)
+
+
+class TestOperationInternals:
+    def test_factorized_reduce_even_input_gradcheck(self):
+        op = FactorizedReduce(2, 2, rng=np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(1, 2, 6, 6)), requires_grad=True)
+
+        def fn():
+            op.modules()  # no-op; keep closure simple
+            for m in op.modules():
+                if isinstance(m, nn.BatchNorm2d):
+                    m.running_mean[...] = 0
+                    m.running_var[...] = 1
+            return (op(x) ** 2).sum()
+
+        assert_gradients_close(fn, [x], rtol=5e-3, atol=1e-6)
+
+    def test_factorized_reduce_odd_input_shape(self):
+        op = FactorizedReduce(4, 4, rng=np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(2, 4, 7, 7)))
+        assert op(x).shape == (2, 4, 4, 4)
+
+    def test_factorized_reduce_rejects_odd_output_channels(self):
+        with pytest.raises(ValueError):
+            FactorizedReduce(4, 3)
+
+    def test_sep_conv_parameter_count(self):
+        c, k = 4, 3
+        op = SepConv(c, c, k, 1, 1, rng=np.random.default_rng(0))
+        # Two depthwise (c*1*k*k) + two pointwise (c*c) convs; BN affine
+        # adds 2c per BN by default (affine=True here).
+        conv_params = 2 * (c * k * k) + 2 * (c * c)
+        bn_params = 2 * (2 * c)
+        assert op.num_parameters() == conv_params + bn_params
+
+    def test_dil_conv_parameter_count(self):
+        c, k = 4, 3
+        op = DilConv(c, c, k, 1, 2, 2, affine=False, rng=np.random.default_rng(0))
+        assert op.num_parameters() == c * k * k + c * c
+
+    def test_dilated_conv_preserves_resolution(self):
+        for name, k in (("dil_conv_3x3", 3), ("dil_conv_5x5", 5)):
+            from repro.search_space import make_operation
+
+            op = make_operation(name, channels=2, stride=1, rng=np.random.default_rng(0))
+            x = Tensor(RNG.normal(size=(1, 2, 9, 9)))
+            assert op(x).shape == (1, 2, 9, 9), name
+
+
+class TestSupernetEdgeCases:
+    def test_single_cell_no_reduction(self):
+        config = SupernetConfig(num_cells=1, init_channels=4, steps=1, num_classes=3)
+        assert config.reduction_indices == ()
+        net = Supernet(config, rng=np.random.default_rng(0))
+        mask = ArchitectureMask((4, 4), (4, 4))
+        out = net(RNG.normal(size=(1, 3, 8, 8)), mask)
+        assert out.shape == (1, 3)
+
+    def test_many_cells_two_reductions(self):
+        config = SupernetConfig(num_cells=6, init_channels=2, steps=1, num_classes=2)
+        assert len(config.reduction_indices) == 2
+        net = Supernet(config, rng=np.random.default_rng(0))
+        e = config.num_edges
+        mask = ArchitectureMask.from_arrays(np.full(e, 3), np.full(e, 3))
+        out = net(RNG.normal(size=(1, 3, 16, 16)), mask)
+        assert out.shape == (1, 2)
+
+    def test_steps_three_edge_count(self):
+        config = SupernetConfig(steps=3)
+        assert config.num_edges == 9
+
+    def test_all_none_architecture_still_runs(self):
+        """Even the degenerate all-zero architecture executes (the stem
+        and classifier remain); accuracy is chance but nothing crashes."""
+        config = SupernetConfig(num_cells=2, init_channels=4, steps=1, num_classes=4)
+        net = Supernet(config, rng=np.random.default_rng(0))
+        e = config.num_edges
+        mask = ArchitectureMask.from_arrays(np.zeros(e, int), np.zeros(e, int))
+        out = net(RNG.normal(size=(2, 3, 8, 8)), mask)
+        assert np.isfinite(out.data).all()
+
+    def test_submodel_bytes_vary_with_ops(self):
+        """Heavy (conv) masks cost more bytes than light (pool/skip) ones —
+        the size spread that adaptive transmission exploits."""
+        from repro.nn import state_size_bytes
+
+        config = SupernetConfig(num_cells=2, init_channels=4, steps=1)
+        net = Supernet(config, rng=np.random.default_rng(0))
+        e = config.num_edges
+        heavy = ArchitectureMask.from_arrays(np.full(e, 5), np.full(e, 5))  # sep5x5
+        light = ArchitectureMask.from_arrays(np.full(e, 3), np.full(e, 3))  # skip
+        assert state_size_bytes(net.submodel_state(heavy)) > state_size_bytes(
+            net.submodel_state(light)
+        )
+
+    def test_submodel_forward_works_on_any_batch(self):
+        config = SupernetConfig(num_cells=2, init_channels=4, steps=1, num_classes=4)
+        net = Supernet(config, rng=np.random.default_rng(0))
+        e = config.num_edges
+        sub = net.extract_submodel(
+            ArchitectureMask.from_arrays(np.full(e, 4), np.full(e, 1))
+        )
+        for batch in (1, 3, 8):
+            assert sub(RNG.normal(size=(batch, 3, 8, 8))).shape == (batch, 4)
+
+
+class TestMaskedForwardConsistency:
+    def test_masked_supernet_matches_mixed_with_onehot_weights(self):
+        """Running the supernet with a one-hot weight matrix must equal
+        the sampled execution with the corresponding mask (eval mode)."""
+        config = SupernetConfig(num_cells=2, init_channels=4, steps=1, num_classes=4)
+        net = Supernet(config, rng=np.random.default_rng(0))
+        net.eval()
+        e = config.num_edges
+        rng = np.random.default_rng(1)
+        mask = ArchitectureMask.from_arrays(
+            rng.integers(0, NUM_OPERATIONS, size=e),
+            rng.integers(0, NUM_OPERATIONS, size=e),
+        )
+        onehot = mask.as_onehot()
+        x = RNG.normal(size=(2, 3, 8, 8))
+        sampled = net(x, mask)
+        mixed = net.forward_mixed(x, Tensor(onehot[0]), Tensor(onehot[1]))
+        np.testing.assert_allclose(sampled.data, mixed.data, atol=1e-10)
