@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Telemetry tour: run logs, metrics, and the trace report.
+
+Runs a small federated search with the JSONL file sink enabled, then
+shows the three ways to look at what happened:
+
+  1. the final metrics snapshot (counters / gauges / p50-p95 histograms)
+     attached to the returned SearchReport,
+  2. the raw structured events in the JSONL run log,
+  3. the aggregated trace report — the same output as
+     ``python -m repro trace run.jsonl``.
+
+Expected runtime: a few seconds on a laptop CPU.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ExperimentConfig, FederatedModelSearch
+from repro.reporting import metrics_markdown
+from repro.telemetry import load_events, render_trace, summarize_trace
+
+
+def main() -> None:
+    log_path = Path(tempfile.mkdtemp()) / "run.jsonl"
+    config = ExperimentConfig.small(
+        non_iid=True,
+        num_participants=4,
+        warmup_rounds=4,
+        search_rounds=12,
+        retrain_epochs=2,
+        fl_retrain_rounds=6,
+        staleness_mix=(0.6, 0.3, 0.1),  # some updates arrive late
+        mobility_modes=("bus", "car"),  # heterogeneous bandwidth traces
+        telemetry_log_path=str(log_path),
+        seed=0,
+    )
+    pipeline = FederatedModelSearch(config)
+    report = pipeline.run(retrain_mode="federated")
+    pipeline.telemetry.close()
+
+    print("=== 1. metrics snapshot (SearchReport.metrics) ===")
+    print(metrics_markdown(report.metrics))
+    print()
+
+    events = load_events(str(log_path))
+    print(f"=== 2. run log: {len(events)} JSONL events at {log_path} ===")
+    for event in events[:5]:
+        print(f"  {event}")
+    print("  ...")
+    print()
+
+    print("=== 3. trace report (python -m repro trace run.jsonl) ===")
+    print(render_trace(summarize_trace(events)))
+
+
+if __name__ == "__main__":
+    main()

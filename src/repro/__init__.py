@@ -16,7 +16,9 @@ numpy deep-learning substrate:
 * :mod:`repro.federated` — participants, the delay-compensated soft-sync
   server (Alg. 1), FedAvg;
 * :mod:`repro.baselines` — DARTS, ENAS, FedNAS, EvoFedNAS, fixed models;
-* :mod:`repro.core` — experiment configs and the four-phase pipeline.
+* :mod:`repro.core` — experiment configs and the four-phase pipeline;
+* :mod:`repro.telemetry` — structured events, metrics, spans, JSONL run
+  logs, and the ``python -m repro trace`` analyzer.
 
 Quickstart::
 
@@ -27,12 +29,13 @@ Quickstart::
     print(report.genotype.describe(), report.test_accuracy)
 """
 
-from . import checkpoint, compare, reporting
+from . import checkpoint, compare, reporting, telemetry
 from .core import ExperimentConfig, FederatedModelSearch, SearchReport
 from .evaluation import CurveRecorder, evaluate_accuracy
 from .search_space import Genotype
+from .telemetry import Telemetry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExperimentConfig",
@@ -41,5 +44,6 @@ __all__ = [
     "CurveRecorder",
     "evaluate_accuracy",
     "Genotype",
+    "Telemetry",
     "__version__",
 ]

@@ -9,6 +9,11 @@ Prints the searched genotype, payload statistics, and the final test
 accuracy.  ``--profile paper`` switches to the full Table I scale (for
 real hardware); the default ``small`` profile finishes in well under a
 minute on a laptop CPU.
+
+``--telemetry-log run.jsonl`` streams structured telemetry events to a
+JSONL run log; ``python -m repro trace run.jsonl`` then summarizes it
+(per-phase time breakdown, staleness histogram, slowest participants,
+per-round table).
 """
 
 from __future__ import annotations
@@ -51,7 +56,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="mobility modes for bandwidth traces (e.g. --mobility bus car)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--telemetry-log", default=None, metavar="PATH",
+        help="also stream telemetry events to a JSONL run log at PATH",
+    )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable telemetry entirely (null sink, near-zero overhead)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the final metrics snapshot as Markdown tables",
+    )
     return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Summarize a JSONL telemetry run log",
+    )
+    parser.add_argument("path", help="run log written via --telemetry-log")
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest participants to show (default: 5)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=20, metavar="N",
+        help="cap the per-round table at N rows (default: 20)",
+    )
+    return parser
+
+
+def trace_main(argv=None) -> int:
+    from .telemetry import load_events, render_trace, summarize_trace
+
+    args = build_trace_parser().parse_args(argv)
+    try:
+        events = load_events(args.path)
+    except OSError as exc:
+        print(f"error: cannot read run log: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_trace(events)
+    print(render_trace(summary, top=args.top, max_round_rows=args.rounds))
+    return 0
 
 
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -74,11 +125,18 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["warmup_rounds"] = args.warmup_rounds
     if args.search_rounds is not None:
         overrides["search_rounds"] = args.search_rounds
+    if getattr(args, "telemetry_log", None):
+        overrides["telemetry_log_path"] = args.telemetry_log
+    if getattr(args, "no_telemetry", False):
+        overrides["telemetry_enabled"] = False
     profile = ExperimentConfig.paper if args.profile == "paper" else ExperimentConfig.small
     return profile(**overrides)
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
     pipeline = FederatedModelSearch(config)
@@ -95,6 +153,15 @@ def main(argv=None) -> int:
     print(f"mean sub-model payload: {report.mean_submodel_bytes / 1e3:.1f} kB")
     print(f"searched-model parameters: {report.model_parameters:,}")
     print(f"test accuracy (P4): {report.test_accuracy:.4f}")
+    if args.telemetry_log and config.telemetry_enabled:
+        print(f"telemetry run log: {args.telemetry_log}")
+        print(f"summarize with: python -m repro trace {args.telemetry_log}")
+    if args.metrics and report.metrics:
+        from .reporting import metrics_markdown
+
+        print()
+        print(metrics_markdown(report.metrics))
+    pipeline.telemetry.close()
     return 0
 
 

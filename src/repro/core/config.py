@@ -96,6 +96,14 @@ class ExperimentConfig:
     transmission_strategy: str = "adaptive"
     mobility_modes: Optional[Tuple[str, ...]] = None
 
+    # Telemetry (see :mod:`repro.telemetry`): enabled in-memory by
+    # default; set ``telemetry_log_path`` to also stream JSONL events to
+    # a run-log file, or ``telemetry_enabled=False`` for the no-op
+    # handle (null sink, near-zero overhead).
+    telemetry_enabled: bool = True
+    telemetry_log_path: Optional[str] = None
+    telemetry_buffer_size: int = 65536
+
     def __post_init__(self) -> None:
         if self.dataset not in ("cifar10", "svhn", "cifar100"):
             raise ValueError(
@@ -104,6 +112,10 @@ class ExperimentConfig:
         if self.num_participants < 1:
             raise ValueError(
                 f"num_participants must be >= 1, got {self.num_participants}"
+            )
+        if self.telemetry_buffer_size < 1:
+            raise ValueError(
+                f"telemetry_buffer_size must be >= 1, got {self.telemetry_buffer_size}"
             )
 
     @property

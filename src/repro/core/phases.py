@@ -15,6 +15,8 @@ P4 *evaluate* — test-set accuracy of the retrained model.
 
 from __future__ import annotations
 
+import contextlib
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,6 +31,7 @@ from repro.federated import (
     RoundResult,
 )
 from repro.search_space import Genotype, Supernet, SupernetConfig, build_derived_network
+from repro.telemetry import Telemetry
 
 from .config import ExperimentConfig
 
@@ -41,19 +44,54 @@ __all__ = [
 ]
 
 
-def run_warmup(server: FederatedSearchServer, rounds: int) -> List[RoundResult]:
+@contextlib.contextmanager
+def _phase(telemetry: Optional[Telemetry], name: str):
+    """Bracket one pipeline phase with span + phase_start/phase_end events."""
+    if telemetry is None or not telemetry.enabled:
+        yield
+        return
+    telemetry.emit("phase_start", phase=name)
+    start = time.perf_counter()
+    try:
+        with telemetry.span(f"phase.{name}"):
+            yield
+    finally:
+        telemetry.emit(
+            "phase_end", phase=name, duration_s=round(time.perf_counter() - start, 6)
+        )
+
+
+def run_warmup(
+    server: FederatedSearchServer,
+    rounds: int,
+    telemetry: Optional[Telemetry] = None,
+) -> List[RoundResult]:
     """P1: federated supernet training with ``α`` fixed."""
     previous = server.config.update_alpha
+    previous_label = server.phase_label
     server.config.update_alpha = False
+    server.phase_label = "warmup"
     try:
-        return server.run(rounds)
+        with _phase(telemetry, "warmup"):
+            return server.run(rounds)
     finally:
         server.config.update_alpha = previous
+        server.phase_label = previous_label
 
 
-def run_search(server: FederatedSearchServer, rounds: int) -> List[RoundResult]:
+def run_search(
+    server: FederatedSearchServer,
+    rounds: int,
+    telemetry: Optional[Telemetry] = None,
+) -> List[RoundResult]:
     """P2: the joint α/θ search (Alg. 1)."""
-    return server.run(rounds)
+    previous_label = server.phase_label
+    server.phase_label = "search"
+    try:
+        with _phase(telemetry, "search"):
+            return server.run(rounds)
+    finally:
+        server.phase_label = previous_label
 
 
 def retrain_centralized(
@@ -62,8 +100,20 @@ def retrain_centralized(
     train_set: ArrayDataset,
     test_set: Optional[ArrayDataset] = None,
     rng: Optional[np.random.Generator] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[Supernet, CurveRecorder]:
     """P3 (centralised): fresh model, SGD + cosine annealing + augmentation."""
+    with _phase(telemetry, "retrain"):
+        return _retrain_centralized_inner(genotype, config, train_set, test_set, rng)
+
+
+def _retrain_centralized_inner(
+    genotype: Genotype,
+    config: ExperimentConfig,
+    train_set: ArrayDataset,
+    test_set: Optional[ArrayDataset] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Supernet, CurveRecorder]:
     rng = rng or np.random.default_rng(config.seed)
     model = build_derived_network(genotype, config.supernet_config(), rng=rng)
     optimizer = nn.SGD(
@@ -104,8 +154,20 @@ def retrain_federated(
     shards: Sequence[ArrayDataset],
     test_set: Optional[ArrayDataset] = None,
     rng: Optional[np.random.Generator] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[Supernet, CurveRecorder]:
     """P3 (federated): fresh model trained with FedAvg (Table I "P3, FL")."""
+    with _phase(telemetry, "retrain"):
+        return _retrain_federated_inner(genotype, config, shards, test_set, rng)
+
+
+def _retrain_federated_inner(
+    genotype: Genotype,
+    config: ExperimentConfig,
+    shards: Sequence[ArrayDataset],
+    test_set: Optional[ArrayDataset] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Supernet, CurveRecorder]:
     rng = rng or np.random.default_rng(config.seed)
     model = build_derived_network(genotype, config.supernet_config(), rng=rng)
     trainer = FedAvgTrainer(
@@ -126,6 +188,15 @@ def retrain_federated(
     return model, trainer.recorder
 
 
-def evaluate(model: nn.Module, test_set: ArrayDataset, batch_size: int = 64) -> float:
+def evaluate(
+    model: nn.Module,
+    test_set: ArrayDataset,
+    batch_size: int = 64,
+    telemetry: Optional[Telemetry] = None,
+) -> float:
     """P4: test-set accuracy."""
-    return evaluate_accuracy(model, test_set, batch_size=batch_size)
+    with _phase(telemetry, "evaluate"):
+        accuracy = evaluate_accuracy(model, test_set, batch_size=batch_size)
+    if telemetry is not None and telemetry.enabled:
+        telemetry.gauge("test.accuracy", accuracy)
+    return accuracy

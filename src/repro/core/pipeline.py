@@ -18,7 +18,7 @@ Example
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from repro.federated import (
 )
 from repro.network import mixed_traces
 from repro.search_space import Genotype, Supernet
+from repro.telemetry import Telemetry, build_telemetry
 
 from .config import ExperimentConfig
 from .phases import (
@@ -74,13 +75,20 @@ class SearchReport:
     search_recorder: CurveRecorder
     mean_submodel_bytes: float
     simulated_search_time_s: float
+    #: final :class:`~repro.telemetry.MetricsRegistry` snapshot (empty
+    #: when telemetry is disabled); render with
+    #: :func:`repro.reporting.metrics_markdown`.
+    metrics: Dict[str, Dict[str, float]] = dataclasses.field(default_factory=dict)
 
 
 class FederatedModelSearch:
     """The paper's system behind one constructor and one ``run()``."""
 
-    def __init__(self, config: ExperimentConfig):
+    def __init__(
+        self, config: ExperimentConfig, telemetry: Optional[Telemetry] = None
+    ):
         self.config = config
+        self.telemetry = telemetry or build_telemetry(config)
         self.rng = np.random.default_rng(config.seed)
         self.train_set, self.test_set = self._build_dataset()
         self.shards = self._partition(self.train_set)
@@ -96,6 +104,7 @@ class FederatedModelSearch:
             config=self._server_config(),
             delay_model=self._delay_model(),
             rng=self.rng,
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -137,6 +146,7 @@ class FederatedModelSearch:
                     batch_size=min(self.config.batch_size, len(shard)),
                     trace=traces[k] if traces else None,
                     rng=np.random.default_rng(self.rng.integers(2**32)),
+                    telemetry=self.telemetry,
                 )
             )
         return participants
@@ -172,11 +182,15 @@ class FederatedModelSearch:
     # ------------------------------------------------------------------
     def warm_up(self) -> List[RoundResult]:
         """P1: train θ with α frozen."""
-        return run_warmup(self.server, self.config.warmup_rounds)
+        return run_warmup(
+            self.server, self.config.warmup_rounds, telemetry=self.telemetry
+        )
 
     def search(self) -> List[RoundResult]:
         """P2: the RL search."""
-        return run_search(self.server, self.config.search_rounds)
+        return run_search(
+            self.server, self.config.search_rounds, telemetry=self.telemetry
+        )
 
     def derive(self) -> Genotype:
         return self.server.derive()
@@ -187,21 +201,48 @@ class FederatedModelSearch:
         """P3: retrain the searched architecture from scratch."""
         if mode == "centralized":
             return retrain_centralized(
-                genotype, self.config, self.train_set, self.test_set, rng=self.rng
+                genotype,
+                self.config,
+                self.train_set,
+                self.test_set,
+                rng=self.rng,
+                telemetry=self.telemetry,
             )
         if mode == "federated":
             return retrain_federated(
-                genotype, self.config, self.shards, self.test_set, rng=self.rng
+                genotype,
+                self.config,
+                self.shards,
+                self.test_set,
+                rng=self.rng,
+                telemetry=self.telemetry,
             )
         raise ValueError(f"mode must be 'centralized' or 'federated', got {mode!r}")
 
     def run(self, retrain_mode: str = "federated") -> SearchReport:
         """All four phases end to end."""
-        warmup_results = self.warm_up()
-        search_results = self.search()
-        genotype = self.derive()
-        model, retrain_recorder = self.retrain(genotype, mode=retrain_mode)
-        accuracy = evaluate(model, self.test_set)
+        telemetry = self.telemetry
+        telemetry.emit(
+            "run_start",
+            dataset=self.config.dataset,
+            seed=self.config.seed,
+            participants=self.config.num_participants,
+            warmup_rounds=self.config.warmup_rounds,
+            search_rounds=self.config.search_rounds,
+            retrain_mode=retrain_mode,
+        )
+        with telemetry.span("run"):
+            warmup_results = self.warm_up()
+            search_results = self.search()
+            genotype = self.derive()
+            model, retrain_recorder = self.retrain(genotype, mode=retrain_mode)
+            accuracy = evaluate(model, self.test_set, telemetry=telemetry)
+        telemetry.emit(
+            "run_end",
+            test_accuracy=accuracy,
+            simulated_search_time_s=self.server.clock_s,
+        )
+        telemetry.flush()
         sizes = [r.mean_submodel_bytes for r in search_results] or [0.0]
         return SearchReport(
             genotype=genotype,
@@ -213,4 +254,5 @@ class FederatedModelSearch:
             search_recorder=self.server.recorder,
             mean_submodel_bytes=float(np.mean(sizes)),
             simulated_search_time_s=self.server.clock_s,
+            metrics=telemetry.metrics_snapshot(),
         )

@@ -22,6 +22,7 @@ from repro.data import ArrayDataset, Compose, DataLoader
 from repro.evaluation import batch_accuracy
 from repro.network import BandwidthTrace
 from repro.search_space import Supernet
+from repro.telemetry import Telemetry
 
 __all__ = [
     "DeviceProfile",
@@ -110,6 +111,7 @@ class Participant:
         trace: Optional[BandwidthTrace] = None,
         availability: float = 1.0,
         rng: Optional[np.random.Generator] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if not 0.0 <= availability <= 1.0:
             raise ValueError(f"availability must be in [0, 1], got {availability}")
@@ -117,6 +119,7 @@ class Participant:
         self.dataset = dataset
         self.device = device
         self.trace = trace
+        self.telemetry = telemetry or Telemetry.disabled()
         #: probability of being online (reachable) in any given round; the
         #: paper's motivating failure mode is a participant "losing
         #: connection with the server" — availability < 1 models that.
@@ -132,6 +135,12 @@ class Participant:
         Both the weight gradients and the reward (training accuracy, the
         ``ACC`` of Eq. 8) come from the same forward/backward pass.
         """
+        with self.telemetry.span(
+            "participant.local_step", participant=self.participant_id
+        ):
+            return self._local_update_inner(submodel)
+
+    def _local_update_inner(self, submodel: Supernet) -> ParticipantUpdate:
         x, y = self.loader.sample_batch()
         submodel.train()
         submodel.zero_grad()

@@ -35,6 +35,7 @@ from repro.evaluation import CurveRecorder
 from repro.network import BandwidthTrace, round_transmission
 from repro.nn import state_size_bytes
 from repro.search_space import ArchitectureMask, Genotype, Supernet, derive_genotype
+from repro.telemetry import Telemetry
 
 from .compensation import compensate_alpha_gradient, compensate_weight_gradients
 from .memory import MemoryPools
@@ -117,6 +118,7 @@ class FederatedSearchServer:
         config: Optional[SearchServerConfig] = None,
         delay_model=None,
         rng: Optional[np.random.Generator] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if not participants:
             raise ValueError("at least one participant required")
@@ -131,6 +133,7 @@ class FederatedSearchServer:
         self.config = config or SearchServerConfig()
         self.delay_model = delay_model or HardSync()
         self.rng = rng or np.random.default_rng()
+        self.telemetry = telemetry or Telemetry.disabled()
 
         self.theta_optimizer = nn.SGD(
             supernet.parameters(),
@@ -149,6 +152,10 @@ class FederatedSearchServer:
         self.recorder = CurveRecorder()
         self.round = 0
         self.clock_s = 0.0
+        #: which pipeline phase the rounds belong to; the phase runners
+        #: in :mod:`repro.core.phases` relabel this ("warmup"/"search")
+        #: so telemetry events can be grouped per phase.
+        self.phase_label = "search"
         self._pending: List[_PendingUpdate] = []
         self._param_names = [name for name, _ in supernet.named_parameters()]
 
@@ -156,7 +163,13 @@ class FederatedSearchServer:
     # The round loop (Alg. 1 lines 3-36)
     # ------------------------------------------------------------------
     def run_round(self) -> RoundResult:
+        with self.telemetry.span("search.round", round=self.round):
+            return self._run_round_inner()
+
+    def _run_round_inner(self) -> RoundResult:
         t = self.round
+        telemetry = self.telemetry
+        telemetry.emit("round_start", round=t, phase=self.phase_label)
         self.pools.save_round(t, self._theta_state(), self.policy.alpha)
 
         online = self._sample_online()
@@ -165,13 +178,22 @@ class FederatedSearchServer:
         round_duration = 0.0
         if online:
             masks, sizes = self._sample_submodels(len(online))
-            assignment, max_latency = self._assign(sizes, online)
+            assignment, max_latency, latencies = self._assign(sizes, online)
 
             compute_times = np.zeros(len(online))
             for slot, k in enumerate(online):
                 mask = masks[assignment[slot]]
                 self.pools.save_mask(t, k, mask)
                 submodel = self.supernet.extract_submodel(mask, rng=self.rng)
+                if telemetry.enabled:
+                    telemetry.emit(
+                        "dispatch",
+                        round=t,
+                        participant=k,
+                        bytes=sizes[assignment[slot]],
+                        latency_s=float(latencies[slot]) if latencies is not None else 0.0,
+                    )
+                    telemetry.observe("submodel.bytes", sizes[assignment[slot]])
                 update = self.participants[k].local_update(submodel)
                 compute_times[slot] = update.compute_time_s
                 self._pending.append(
@@ -192,12 +214,35 @@ class FederatedSearchServer:
             mean_size = float(np.mean(sizes))
             round_duration = delays.round_duration_s
 
+        num_offline = len(self.participants) - len(online)
         result = self._apply_arrivals(
-            t, max_latency, mean_size, round_duration, len(self.participants) - len(online)
+            t, max_latency, mean_size, round_duration, num_offline
         )
         self.pools.evict_older_than(t)
         self.clock_s += round_duration
         self.round += 1
+        if telemetry.enabled:
+            telemetry.count("rounds.total")
+            telemetry.count("updates.offline_slots", num_offline)
+            telemetry.observe("round.duration_s", round_duration)
+            telemetry.observe("transmission.max_latency_s", max_latency)
+            telemetry.observe("policy.entropy", result.policy_entropy)
+            if np.isfinite(result.mean_reward):
+                telemetry.observe("reward", result.mean_reward)
+            telemetry.gauge("clock.simulated_s", self.clock_s)
+            telemetry.gauge("round.index", self.round)
+            telemetry.emit(
+                "round_end",
+                round=t,
+                phase=self.phase_label,
+                mean_reward=None if not np.isfinite(result.mean_reward) else result.mean_reward,
+                num_fresh=result.num_fresh,
+                num_stale_used=result.num_stale_used,
+                num_dropped=result.num_dropped,
+                num_offline=num_offline,
+                duration_s=round_duration,
+                max_latency_s=max_latency,
+            )
         return result
 
     def _sample_online(self) -> List[int]:
@@ -237,10 +282,10 @@ class FederatedSearchServer:
 
     def _assign(
         self, sizes: Sequence[float], online: Sequence[int]
-    ) -> Tuple[np.ndarray, float]:
+    ) -> Tuple[np.ndarray, float, Optional[np.ndarray]]:
         traces = [self.participants[k].trace for k in online]
         if any(trace is None for trace in traces):
-            return np.arange(len(online)), 0.0
+            return np.arange(len(online)), 0.0, None
         report = round_transmission(
             sizes,
             traces,
@@ -248,7 +293,7 @@ class FederatedSearchServer:
             start_time=self.clock_s,
             rng=self.rng,
         )
-        return report.assignment, report.max_latency_s
+        return report.assignment, report.max_latency_s, report.latencies_s
 
     def _theta_state(self) -> Dict[str, np.ndarray]:
         return {name: p.data for name, p in self.supernet.named_parameters()}
@@ -271,6 +316,7 @@ class FederatedSearchServer:
         num_fresh = num_stale = num_dropped = 0
         used = 0
 
+        telemetry = self.telemetry
         for item in arrivals:
             tau = t - item.origin_round
             if tau == 0:
@@ -279,25 +325,50 @@ class FederatedSearchServer:
                 used_updates.append(item.update)
                 num_fresh += 1
                 used += 1
+                outcome = "fresh"
             elif tau > self.config.staleness_threshold or (
                 self.config.staleness_policy == "throw"
             ):
                 num_dropped += 1
+                outcome = "dropped"
             elif not self.pools.has_round(item.origin_round):
                 num_dropped += 1
+                outcome = "dropped"
             else:
                 self._accumulate_stale(item, tau, estimator, grad_sum)
                 rewards.append(item.update.reward)
                 used_updates.append(item.update)
                 num_stale += 1
                 used += 1
+                outcome = (
+                    "stale_used"
+                    if self.config.staleness_policy == "use"
+                    else "stale_compensated"
+                )
+            if telemetry.enabled:
+                telemetry.count(f"updates.{'stale_used' if outcome.startswith('stale') else outcome}")
+                telemetry.observe("update.staleness", tau)
+                telemetry.emit(
+                    "arrival",
+                    round=t,
+                    origin_round=item.origin_round,
+                    participant=item.update.participant_id,
+                    staleness=tau,
+                    outcome=outcome,
+                    reward=item.update.reward,
+                )
 
         if used and self.config.update_theta:
             self._step_theta(grad_sum, used)
         if used and self.config.aggregate_bn_stats:
             self._aggregate_buffers(used_updates)
         if used and self.config.update_alpha:
-            self.alpha_optimizer.step(estimator.gradient())
+            alpha_grad = estimator.gradient()
+            if telemetry.enabled:
+                norm = float(np.linalg.norm(alpha_grad))
+                telemetry.observe("alpha.grad_norm", norm)
+                telemetry.emit("alpha_step", round=t, grad_norm=norm, num_updates=used)
+            self.alpha_optimizer.step(alpha_grad)
         if rewards:
             self.baseline.update(rewards)
 
@@ -441,5 +512,12 @@ class FederatedSearchServer:
         for name, param in self.supernet.named_parameters():
             if name in grad_sum:
                 param.grad = grad_sum[name] / count
-        nn.clip_grad_norm(self.supernet.parameters(), self.config.theta_grad_clip)
+        norm = nn.clip_grad_norm(
+            self.supernet.parameters(), self.config.theta_grad_clip
+        )
+        if self.telemetry.enabled:
+            self.telemetry.observe("theta.grad_norm", norm)
+            self.telemetry.emit(
+                "theta_step", round=self.round, grad_norm=norm, num_updates=count
+            )
         self.theta_optimizer.step()

@@ -21,6 +21,8 @@ __all__ = [
     "curves_to_csv",
     "ascii_curve",
     "summarize_rounds",
+    "metrics_markdown",
+    "metrics_csv",
 ]
 
 Cell = Union[str, int, float]
@@ -102,16 +104,66 @@ def ascii_curve(
     return "\n".join(lines)
 
 
+def _quiet_nanmean(values: np.ndarray) -> float:
+    """``np.nanmean`` that returns ``nan`` on empty/all-nan input without
+    emitting a ``RuntimeWarning``."""
+    finite = values[np.isfinite(values)]
+    return float(finite.mean()) if finite.size else float("nan")
+
+
 def summarize_rounds(results) -> Dict[str, float]:
-    """Aggregate a list of :class:`RoundResult` into headline numbers."""
+    """Aggregate a list of :class:`RoundResult` into headline numbers.
+
+    An empty results list yields ``rounds=0``, ``nan`` accuracies, and
+    zero counters — no warnings, no slicing surprises.
+    """
     rewards = np.array([r.mean_reward for r in results], dtype=float)
+    tail = rewards[-max(1, len(rewards) // 5):] if len(rewards) else rewards
     return {
         "rounds": float(len(results)),
-        "final_accuracy": float(np.nanmean(rewards[-max(1, len(rewards) // 5):])),
-        "mean_accuracy": float(np.nanmean(rewards)) if len(rewards) else float("nan"),
+        "final_accuracy": _quiet_nanmean(tail),
+        "mean_accuracy": _quiet_nanmean(rewards),
         "fresh_updates": float(sum(r.num_fresh for r in results)),
         "stale_updates_used": float(sum(r.num_stale_used for r in results)),
         "dropped_updates": float(sum(r.num_dropped for r in results)),
         "offline_slots": float(sum(r.num_offline for r in results)),
         "total_time_s": float(sum(r.round_duration_s for r in results)),
     }
+
+
+#: column order for histogram snapshots in the metrics exporters
+_HISTOGRAM_COLUMNS = ("count", "mean", "min", "p50", "p95", "max")
+
+
+def metrics_markdown(snapshot: Dict[str, Dict[str, float]], precision: int = 4) -> str:
+    """Render a :meth:`~repro.telemetry.MetricsRegistry.snapshot` as two
+    Markdown tables: scalars (counters/gauges) and histograms."""
+    scalar_rows = []
+    histogram_rows = []
+    for name, entry in snapshot.items():
+        if entry["type"] == "histogram":
+            histogram_rows.append([name] + [entry[c] for c in _HISTOGRAM_COLUMNS])
+        else:
+            scalar_rows.append([name, entry["type"], entry["value"]])
+    parts = []
+    if scalar_rows:
+        parts.append(markdown_table(["metric", "type", "value"], scalar_rows, precision))
+    if histogram_rows:
+        parts.append(
+            markdown_table(
+                ["histogram"] + list(_HISTOGRAM_COLUMNS), histogram_rows, precision
+            )
+        )
+    return "\n\n".join(parts) if parts else "(no metrics)"
+
+
+def metrics_csv(snapshot: Dict[str, Dict[str, float]]) -> str:
+    """Flatten a metrics snapshot into long-form CSV
+    (``metric,type,field,value`` — one row per statistic)."""
+    rows = []
+    for name, entry in snapshot.items():
+        for field, value in entry.items():
+            if field == "type":
+                continue
+            rows.append([name, entry["type"], field, value])
+    return csv_table(["metric", "type", "field", "value"], rows)

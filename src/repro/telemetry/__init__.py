@@ -1,0 +1,45 @@
+"""Structured telemetry: events, metrics, spans, and run-log analysis.
+
+The search pipeline is a distributed-systems simulation — where time and
+updates go each round (staleness, compensation, transmission latency,
+phase timing) *is* the experiment.  This package makes those flows
+observable without perturbing them:
+
+* :class:`EventLog` semantics live on :class:`Telemetry` — structured
+  events flow through pluggable sinks (:class:`MemorySink` ring buffer,
+  :class:`JsonlFileSink`, :class:`NullSink`);
+* :class:`MetricsRegistry` — counters, gauges, and streaming histograms
+  (p50/p95/max) for round duration, transmission latency, payload bytes,
+  reward, and policy entropy;
+* ``with telemetry.span("search.round"):`` — wall-clock span timers that
+  nest, survive exceptions, and feed the histogram registry;
+* :func:`summarize_trace` / :func:`render_trace` — turn a JSONL run log
+  into the per-phase/staleness/per-round breakdown behind
+  ``python -m repro trace``.
+
+Instrumentation is deterministic-safe by construction: nothing here
+touches NumPy's (or any) RNG state, so seeded results are bit-identical
+with telemetry enabled or disabled.
+"""
+
+from .core import Telemetry, build_telemetry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .sinks import EventSink, JsonlFileSink, MemorySink, NullSink, TeeSink
+from .trace import load_events, render_trace, summarize_trace
+
+__all__ = [
+    "Telemetry",
+    "build_telemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventSink",
+    "MemorySink",
+    "JsonlFileSink",
+    "NullSink",
+    "TeeSink",
+    "load_events",
+    "summarize_trace",
+    "render_trace",
+]

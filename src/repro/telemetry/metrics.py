@@ -1,0 +1,172 @@
+"""Counters, gauges, and streaming histograms for the search pipeline.
+
+The registry is dependency-free and deterministic: histograms decimate
+their reservoir with a fixed stride (no random sampling), so two runs
+that observe the same values report the same quantiles — and nothing
+here ever touches an RNG.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (updates, drops, bytes, ...)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (current round, simulated clock, ...)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary with p50/p95/max.
+
+    Exact ``count``/``sum``/``min``/``max`` are always maintained.
+    Quantiles come from a bounded reservoir: once ``max_samples``
+    observations are stored, the reservoir is thinned by keeping every
+    second sample and doubling the keep-stride — deterministic, order
+    preserving, and RNG-free (unlike classic reservoir sampling).
+    """
+
+    def __init__(self, name: str, max_samples: int = 8192):
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+        self._stride = 1
+        self._since_kept = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._since_kept += 1
+        if self._since_kept >= self._stride:
+            self._since_kept = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile (matches ``np.quantile`` defaults)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self._samples:
+            return float("nan")
+        ordered = sorted(self._samples)
+        position = q * (len(ordered) - 1)
+        lo = int(math.floor(position))
+        hi = int(math.ceil(position))
+        if lo == hi:
+            return ordered[lo]
+        weight = position - lo
+        return ordered[lo] * (1.0 - weight) + ordered[hi] * weight
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "type": "histogram",
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind is a bug and raises.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, max_samples: int = 8192) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, max_samples=max_samples)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a Histogram"
+            )
+        return metric
+
+    def _get(self, name: str, kind):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {kind.__name__}"
+            )
+        return metric
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """All metrics as plain nested dicts (sorted by name)."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }

@@ -1,0 +1,110 @@
+"""Event sinks: where structured telemetry events go.
+
+Every sink consumes plain ``dict`` events (JSON-serialisable, flat keys)
+via :meth:`EventSink.emit`.  Sinks are deliberately dumb — ordering,
+sequence numbers, and timestamps are stamped upstream by
+:class:`~repro.telemetry.Telemetry`, so sinks can be swapped or combined
+(:class:`TeeSink`) without changing what is recorded.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import Deque, Dict, Iterable, List, Optional
+
+__all__ = ["EventSink", "NullSink", "MemorySink", "JsonlFileSink", "TeeSink"]
+
+
+class EventSink:
+    """Interface: receives event dicts; optionally flushes/closes."""
+
+    def emit(self, event: Dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered events to durable storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources; the sink must not be used afterwards."""
+
+
+class NullSink(EventSink):
+    """Discards everything with near-zero overhead."""
+
+    def emit(self, event: Dict) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Keeps the most recent ``capacity`` events in a ring buffer."""
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: Deque[Dict] = collections.deque(maxlen=capacity)
+        self.total_emitted = 0
+
+    def emit(self, event: Dict) -> None:
+        self._buffer.append(event)
+        self.total_emitted += 1
+
+    @property
+    def events(self) -> List[Dict]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlFileSink(EventSink):
+    """Appends one JSON object per line to ``path`` (the run log)."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self.total_emitted = 0
+
+    def emit(self, event: Dict) -> None:
+        self._file.write(json.dumps(event, default=_jsonable) + "\n")
+        self.total_emitted += 1
+
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+class TeeSink(EventSink):
+    """Fans every event out to several sinks (e.g. memory + file)."""
+
+    def __init__(self, sinks: Iterable[EventSink]):
+        self.sinks: List[EventSink] = list(sinks)
+
+    def emit(self, event: Dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def _jsonable(value):
+    """Fallback encoder for NumPy scalars and other array-likes."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return str(value)

@@ -1,0 +1,213 @@
+"""Run-log analysis behind ``python -m repro trace <run.jsonl>``.
+
+Consumes the JSONL event stream a :class:`~repro.telemetry.JsonlFileSink`
+wrote (or the in-memory event list) and answers the questions the paper's
+evaluation revolves around: where did wall-clock time go per phase, how
+stale were the updates (Fig. 8), which participants were the slow links
+(Fig. 7), and what did each round contribute (Table V).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["load_events", "summarize_trace", "render_trace"]
+
+
+def load_events(path: str) -> List[Dict]:
+    """Parse a JSONL run log; blank lines are skipped, order preserved."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSONL line: {exc}") from exc
+    return events
+
+
+def summarize_trace(events: Sequence[Dict]) -> Dict:
+    """Reduce an event stream to the trace report's raw numbers."""
+    phases: List[Dict] = []
+    staleness: Dict[int, int] = collections.Counter()
+    outcomes: Dict[str, int] = collections.Counter()
+    participants: Dict[int, Dict] = {}
+    rounds: List[Dict] = []
+    event_counts: Dict[str, int] = collections.Counter()
+    timestamps: List[float] = []
+
+    for event in events:
+        name = event.get("event", "?")
+        event_counts[name] += 1
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            timestamps.append(float(ts))
+
+        if name == "phase_end":
+            phases.append(
+                {
+                    "phase": event.get("phase", "?"),
+                    "wall_s": float(event.get("duration_s", 0.0)),
+                }
+            )
+        elif name == "arrival":
+            staleness[int(event.get("staleness", 0))] += 1
+            outcomes[event.get("outcome", "?")] += 1
+        elif name == "dispatch":
+            k = int(event.get("participant", -1))
+            entry = participants.setdefault(
+                k,
+                {
+                    "participant": k,
+                    "dispatches": 0,
+                    "bytes_total": 0.0,
+                    "latency_total_s": 0.0,
+                    "latency_max_s": 0.0,
+                },
+            )
+            entry["dispatches"] += 1
+            entry["bytes_total"] += float(event.get("bytes", 0.0))
+            latency = float(event.get("latency_s", 0.0))
+            entry["latency_total_s"] += latency
+            entry["latency_max_s"] = max(entry["latency_max_s"], latency)
+        elif name == "round_end":
+            rounds.append(
+                {
+                    "round": int(event.get("round", -1)),
+                    "phase": event.get("phase", "?"),
+                    "mean_reward": event.get("mean_reward"),
+                    "num_fresh": int(event.get("num_fresh", 0)),
+                    "num_stale_used": int(event.get("num_stale_used", 0)),
+                    "num_dropped": int(event.get("num_dropped", 0)),
+                    "num_offline": int(event.get("num_offline", 0)),
+                    "duration_s": float(event.get("duration_s", 0.0)),
+                    "max_latency_s": float(event.get("max_latency_s", 0.0)),
+                }
+            )
+
+    total_phase_wall = sum(p["wall_s"] for p in phases) or 1.0
+    for p in phases:
+        p["share"] = p["wall_s"] / total_phase_wall
+    participant_rows = sorted(
+        participants.values(),
+        key=lambda e: e["latency_total_s"] / max(e["dispatches"], 1),
+        reverse=True,
+    )
+    for entry in participant_rows:
+        entry["latency_mean_s"] = entry["latency_total_s"] / max(entry["dispatches"], 1)
+
+    return {
+        "num_events": len(events),
+        "wall_s": (max(timestamps) - min(timestamps)) if timestamps else 0.0,
+        "simulated_s": sum(r["duration_s"] for r in rounds),
+        "phases": phases,
+        "staleness": dict(sorted(staleness.items())),
+        "outcomes": dict(sorted(outcomes.items())),
+        "participants": participant_rows,
+        "rounds": rounds,
+        "event_counts": dict(sorted(event_counts.items())),
+    }
+
+
+def _bar(count: int, peak: int, width: int = 40) -> str:
+    filled = int(round(width * count / peak)) if peak else 0
+    return "#" * max(filled, 1 if count else 0)
+
+
+def render_trace(summary: Dict, top: int = 5, max_round_rows: int = 20) -> str:
+    """Human-readable trace report (per-phase, staleness, per-round)."""
+    from repro.reporting import markdown_table
+
+    lines: List[str] = []
+    lines.append(
+        f"events: {summary['num_events']}   "
+        f"wall time: {summary['wall_s']:.3f} s   "
+        f"simulated time: {summary['simulated_s']:.3f} s"
+    )
+
+    lines.append("")
+    lines.append("## Per-phase time breakdown")
+    if summary["phases"]:
+        lines.append(
+            markdown_table(
+                ["phase", "wall_s", "share_%"],
+                [
+                    [p["phase"], p["wall_s"], 100.0 * p["share"]]
+                    for p in summary["phases"]
+                ],
+                precision=3,
+            )
+        )
+    else:
+        lines.append("(no phase_end events)")
+
+    lines.append("")
+    lines.append("## Staleness histogram (update arrivals)")
+    if summary["staleness"]:
+        peak = max(summary["staleness"].values())
+        for tau, count in summary["staleness"].items():
+            lines.append(f"  tau={tau:<3d} {count:>6d} {_bar(count, peak)}")
+        outcome_text = ", ".join(
+            f"{name}={count}" for name, count in summary["outcomes"].items()
+        )
+        lines.append(f"  outcomes: {outcome_text}")
+    else:
+        lines.append("(no arrival events)")
+
+    lines.append("")
+    lines.append(f"## Slowest participants (top {top} by mean dispatch latency)")
+    if summary["participants"]:
+        lines.append(
+            markdown_table(
+                ["participant", "dispatches", "mean_latency_s", "max_latency_s", "kB_sent"],
+                [
+                    [
+                        e["participant"],
+                        e["dispatches"],
+                        e["latency_mean_s"],
+                        e["latency_max_s"],
+                        e["bytes_total"] / 1e3,
+                    ]
+                    for e in summary["participants"][:top]
+                ],
+                precision=4,
+            )
+        )
+    else:
+        lines.append("(no dispatch events)")
+
+    lines.append("")
+    lines.append("## Per-round summary")
+    rounds = summary["rounds"]
+    if rounds:
+        shown = rounds[:max_round_rows]
+        lines.append(
+            markdown_table(
+                ["round", "phase", "reward", "fresh", "stale", "dropped", "offline", "sim_s"],
+                [
+                    [
+                        r["round"],
+                        r["phase"],
+                        float("nan") if r["mean_reward"] is None else r["mean_reward"],
+                        r["num_fresh"],
+                        r["num_stale_used"],
+                        r["num_dropped"],
+                        r["num_offline"],
+                        r["duration_s"],
+                    ]
+                    for r in shown
+                ],
+                precision=3,
+            )
+        )
+        if len(rounds) > len(shown):
+            lines.append(f"... ({len(rounds) - len(shown)} more rounds)")
+    else:
+        lines.append("(no round_end events)")
+
+    return "\n".join(lines)

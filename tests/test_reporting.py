@@ -119,3 +119,83 @@ class TestSummarizeRounds:
         assert summary["offline_slots"] == 5
         assert summary["total_time_s"] == pytest.approx(2.5)
         assert summary["final_accuracy"] == pytest.approx(0.5)
+
+    def test_empty_results_no_warnings(self):
+        """Regression: an empty list used to slice `rewards[-1:]` on an
+        empty array and trip a nanmean RuntimeWarning."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            summary = summarize_rounds([])
+        assert summary["rounds"] == 0.0
+        assert np.isnan(summary["final_accuracy"])
+        assert np.isnan(summary["mean_accuracy"])
+        assert summary["fresh_updates"] == 0.0
+        assert summary["stale_updates_used"] == 0.0
+        assert summary["dropped_updates"] == 0.0
+        assert summary["offline_slots"] == 0.0
+        assert summary["total_time_s"] == 0.0
+
+    def test_all_nan_rewards_no_warnings(self):
+        import warnings
+
+        from repro.federated import RoundResult
+
+        results = [
+            RoundResult(
+                round_index=0,
+                mean_reward=float("nan"),
+                num_fresh=0,
+                num_stale_used=0,
+                num_dropped=3,
+                round_duration_s=0.5,
+                max_transmission_latency_s=0.0,
+                mean_submodel_bytes=100.0,
+                policy_entropy=1.0,
+            )
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            summary = summarize_rounds(results)
+        assert np.isnan(summary["final_accuracy"])
+        assert summary["dropped_updates"] == 3.0
+
+
+class TestMetricsExporters:
+    def make_snapshot(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("updates.fresh").inc(12)
+        registry.gauge("round.index").set(4)
+        hist = registry.histogram("round.duration_s")
+        for v in (0.1, 0.2, 0.3, 0.4):
+            hist.observe(v)
+        return registry.snapshot()
+
+    def test_metrics_markdown(self):
+        from repro.reporting import metrics_markdown
+
+        text = metrics_markdown(self.make_snapshot())
+        assert "| updates.fresh | counter | 12.0000 |" in text
+        assert "round.duration_s" in text
+        assert "p95" in text
+
+    def test_metrics_markdown_empty(self):
+        from repro.reporting import metrics_markdown
+
+        assert metrics_markdown({}) == "(no metrics)"
+
+    def test_metrics_csv_long_form(self):
+        import csv as csv_module
+        import io
+
+        from repro.reporting import metrics_csv
+
+        text = metrics_csv(self.make_snapshot())
+        rows = list(csv_module.reader(io.StringIO(text)))
+        assert rows[0] == ["metric", "type", "field", "value"]
+        fields = {(r[0], r[2]) for r in rows[1:]}
+        assert ("updates.fresh", "value") in fields
+        assert ("round.duration_s", "p95") in fields
