@@ -1,40 +1,52 @@
 """Command-line entry point: ``python -m repro``.
 
-Runs the four-phase federated model-search pipeline from the shell:
+Two subcommands:
 
-    python -m repro --dataset cifar10 --non-iid --participants 4 \
-        --search-rounds 60 --retrain federated --seed 0
+``repro run``
+    Runs the four-phase federated model-search pipeline::
 
-Prints the searched genotype, payload statistics, and the final test
-accuracy.  ``--profile paper`` switches to the full Table I scale (for
-real hardware); the default ``small`` profile finishes in well under a
-minute on a laptop CPU.
+        python -m repro run --dataset cifar10 --non-iid --participants 4 \
+            --search-rounds 60 --retrain federated --seed 0
 
-``--telemetry-log run.jsonl`` streams structured telemetry events to a
-JSONL run log; ``python -m repro trace run.jsonl`` then summarizes it
-(per-phase time breakdown, staleness histogram, slowest participants,
-per-round table).
+    Prints the searched genotype, payload statistics, and the final test
+    accuracy.  ``--profile paper`` switches to the full Table I scale
+    (for real hardware); the default ``small`` profile finishes in well
+    under a minute on a laptop CPU.  ``--backend process --workers 4``
+    runs participant local steps on a worker pool (bit-identical results,
+    lower wall-clock).  ``--config experiment.json`` loads an
+    :class:`~repro.core.ExperimentConfig` from a JSON file; explicit CLI
+    flags override file values, which override the profile defaults.
+
+``repro trace``
+    Summarizes a JSONL telemetry run log produced via
+    ``repro run --telemetry-log run.jsonl`` (per-phase time breakdown,
+    staleness histogram, slowest participants, per-round table).
+
+Invoking ``python -m repro --dataset ...`` without a subcommand still
+works as an alias for ``repro run`` but is deprecated.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core import ExperimentConfig, FederatedModelSearch
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Federated model search via reinforcement learning (ICDCS 2021 reproduction)",
-    )
+def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     parser.add_argument(
         "--profile", choices=("small", "paper"), default="small",
         help="experiment scale (default: small)",
     )
     parser.add_argument(
-        "--dataset", choices=("cifar10", "svhn", "cifar100"), default="cifar10"
+        "--config", default=None, metavar="PATH",
+        help="load ExperimentConfig fields from a JSON file; explicit CLI "
+        "flags override file values, which override the profile defaults",
+    )
+    parser.add_argument(
+        "--dataset", choices=("cifar10", "svhn", "cifar100"), default=None
     )
     parser.add_argument("--non-iid", action="store_true", help="Dirichlet(0.5) shards")
     parser.add_argument("--participants", type=int, default=None, metavar="K")
@@ -44,18 +56,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--retrain", choices=("federated", "centralized"), default="federated"
     )
     parser.add_argument(
-        "--staleness", choices=("none", "severe", "slight"), default="none",
+        "--staleness", choices=("none", "severe", "slight"), default=None,
         help="staleness mix during the search (Sec. VI-C)",
     )
     parser.add_argument(
         "--staleness-policy", choices=("compensate", "use", "throw"),
-        default="compensate",
+        default=None,
     )
     parser.add_argument(
         "--mobility", nargs="*", default=None, metavar="MODE",
         help="mobility modes for bandwidth traces (e.g. --mobility bus car)",
     )
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--backend", choices=("serial", "process"), default=None,
+        help="execution engine for participant local steps "
+        "(default: $REPRO_BACKEND or serial); seeded results are "
+        "bit-identical across backends",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --backend process "
+        "(default: min(participants, cpu count))",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task deadline before retry / offline fallback",
+    )
     parser.add_argument(
         "--telemetry-log", default=None, metavar="PATH",
         help="also stream telemetry events to a JSONL run log at PATH",
@@ -71,11 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def build_trace_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro trace",
-        description="Summarize a JSONL telemetry run log",
-    )
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     parser.add_argument("path", help="run log written via --telemetry-log")
     parser.add_argument(
         "--top", type=int, default=5,
@@ -88,64 +111,126 @@ def build_trace_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def trace_main(argv=None) -> int:
-    from .telemetry import load_events, render_trace, summarize_trace
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro run`` argument parser (also the deprecation-shim parser)."""
+    return _add_run_arguments(
+        argparse.ArgumentParser(
+            prog="repro run",
+            description="Run the four-phase federated model-search pipeline",
+        )
+    )
 
-    args = build_trace_parser().parse_args(argv)
-    try:
-        events = load_events(args.path)
-    except OSError as exc:
-        print(f"error: cannot read run log: {exc}", file=sys.stderr)
-        return 1
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    summary = summarize_trace(events)
-    print(render_trace(summary, top=args.top, max_round_rows=args.rounds))
-    return 0
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    return _add_trace_arguments(
+        argparse.ArgumentParser(
+            prog="repro trace",
+            description="Summarize a JSONL telemetry run log",
+        )
+    )
+
+
+def build_main_parser() -> argparse.ArgumentParser:
+    """Top-level parser with the ``run`` and ``trace`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Federated model search via reinforcement learning "
+        "(ICDCS 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="{run,trace}")
+    _add_run_arguments(
+        sub.add_parser(
+            "run",
+            help="run the four-phase search pipeline",
+            description="Run the four-phase federated model-search pipeline",
+        )
+    )
+    _add_trace_arguments(
+        sub.add_parser(
+            "trace",
+            help="summarize a JSONL telemetry run log",
+            description="Summarize a JSONL telemetry run log",
+        )
+    )
+    return parser
 
 
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Resolve profile defaults < ``--config`` file < explicit CLI flags."""
     mixes = {
         "none": None,
         "severe": (0.3, 0.4, 0.2, 0.1),
         "slight": (0.9, 0.09, 0.009, 0.001),
     }
-    overrides = dict(
-        dataset=args.dataset,
-        non_iid=args.non_iid,
-        seed=args.seed,
-        staleness_mix=mixes[args.staleness],
-        staleness_policy=args.staleness_policy,
-        mobility_modes=tuple(args.mobility) if args.mobility else None,
-    )
+    overrides = {}
+    if args.dataset is not None:
+        overrides["dataset"] = args.dataset
+    if args.non_iid:
+        overrides["non_iid"] = True
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.staleness is not None:
+        overrides["staleness_mix"] = mixes[args.staleness]
+    if args.staleness_policy is not None:
+        overrides["staleness_policy"] = args.staleness_policy
+    if args.mobility:
+        overrides["mobility_modes"] = tuple(args.mobility)
     if args.participants is not None:
         overrides["num_participants"] = args.participants
     if args.warmup_rounds is not None:
         overrides["warmup_rounds"] = args.warmup_rounds
     if args.search_rounds is not None:
         overrides["search_rounds"] = args.search_rounds
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    if getattr(args, "workers", None) is not None:
+        overrides["num_workers"] = args.workers
+    if getattr(args, "task_timeout", None) is not None:
+        overrides["task_timeout_s"] = args.task_timeout
     if getattr(args, "telemetry_log", None):
         overrides["telemetry_log_path"] = args.telemetry_log
     if getattr(args, "no_telemetry", False):
         overrides["telemetry_enabled"] = False
+
     profile = ExperimentConfig.paper if args.profile == "paper" else ExperimentConfig.small
+    if getattr(args, "config", None):
+        try:
+            with open(args.config, "r", encoding="utf-8") as handle:
+                file_values = json.load(handle)
+        except OSError as exc:
+            raise ValueError(f"cannot read config file: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON in {args.config}: {exc}") from exc
+        if not isinstance(file_values, dict):
+            raise ValueError(
+                f"config file {args.config} must hold a JSON object, "
+                f"got {type(file_values).__name__}"
+            )
+        base = profile().to_dict()
+        merged = {**base, **file_values, **overrides}
+        # Validate the file's keys/types even where overrides win.
+        ExperimentConfig.from_dict({**base, **file_values})
+        return ExperimentConfig.from_dict(merged)
     return profile(**overrides)
 
 
-def main(argv=None) -> int:
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "trace":
-        return trace_main(argv[1:])
-    args = build_parser().parse_args(argv)
-    config = config_from_args(args)
+def run_main(args: argparse.Namespace) -> int:
+    try:
+        config = config_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     pipeline = FederatedModelSearch(config)
     print(
         f"dataset={config.dataset} non_iid={config.non_iid} "
-        f"K={config.num_participants} seed={config.seed}"
+        f"K={config.num_participants} seed={config.seed} "
+        f"backend={pipeline.backend.name}"
     )
     print(f"supernet: {pipeline.supernet.num_parameters():,} parameters")
-    report = pipeline.run(retrain_mode=args.retrain)
+    try:
+        report = pipeline.run(retrain_mode=args.retrain)
+    finally:
+        pipeline.close()
     print()
     print("searched architecture:")
     print(report.genotype.describe())
@@ -161,8 +246,47 @@ def main(argv=None) -> int:
 
         print()
         print(metrics_markdown(report.metrics))
-    pipeline.telemetry.close()
     return 0
+
+
+def trace_main(argv=None) -> int:
+    """Entry point for ``repro trace`` (accepts raw argv for back-compat)."""
+    args = build_trace_parser().parse_args(argv)
+    return _trace_main(args)
+
+
+def _trace_main(args: argparse.Namespace) -> int:
+    from .telemetry import load_events, render_trace, summarize_trace
+
+    try:
+        events = load_events(args.path)
+    except OSError as exc:
+        print(f"error: cannot read run log: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_trace(events)
+    print(render_trace(summary, top=args.top, max_round_rows=args.rounds))
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in ("run", "trace"):
+        args = build_main_parser().parse_args(argv)
+        return _trace_main(args) if args.command == "trace" else run_main(args)
+    if argv and argv[0] in ("-h", "--help"):
+        build_main_parser().parse_args(argv)
+        return 0
+    # Deprecation shim: bare ``python -m repro [flags]`` means ``repro run``.
+    if argv:
+        print(
+            "warning: invoking 'python -m repro' without a subcommand is "
+            "deprecated; use 'python -m repro run ...'",
+            file=sys.stderr,
+        )
+    return run_main(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":

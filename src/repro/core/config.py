@@ -11,11 +11,30 @@ ratios that matter (learning rates, decay, clipping, baseline decay).
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+import os
+from typing import Dict, Optional, Tuple
 
+from repro.network import MOBILITY_MODES, STRATEGIES
 from repro.search_space import SupernetConfig
 
 __all__ = ["ExperimentConfig", "TABLE1_DEFAULTS"]
+
+#: Staleness fallback policies (mirrors ``repro.federated.server``).
+_STALENESS_POLICIES = ("compensate", "use", "throw")
+
+#: Execution backends (mirrors ``repro.federated.executor.BACKENDS``;
+#: kept literal here so the config layer stays import-light).
+_EXECUTION_BACKENDS = ("serial", "process")
+
+
+def _default_backend() -> str:
+    """Backend default: ``$REPRO_BACKEND`` when set, else ``serial``.
+
+    The environment hook lets a whole test/CI run flip to the process
+    backend without touching any call site; an explicit ``backend=``
+    argument always wins.
+    """
+    return os.environ.get("REPRO_BACKEND", "serial")
 
 #: Verbatim Table I values (name -> value), kept as a reference artefact
 #: that the Table I bench prints and the paper() profile is built from.
@@ -45,6 +64,62 @@ TABLE1_DEFAULTS = {
     "random horizontal flapping": 0.5,
     "# FL training steps": 6000,
 }
+
+
+def _coerce_value(name: str, type_str: str, value: object) -> object:
+    """Check/convert one config value against its declared field type.
+
+    Types are matched by annotation string (the module uses postponed
+    evaluation); any new field using one of the types below is covered
+    automatically.  Raises :class:`ValueError` naming the key on
+    mismatch.
+    """
+
+    def fail(expected: str) -> ValueError:
+        return ValueError(
+            f"config key {name!r} expects {expected}, "
+            f"got {type(value).__name__}: {value!r}"
+        )
+
+    if type_str == "bool":
+        if not isinstance(value, bool):
+            raise fail("a bool")
+        return value
+    if type_str == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise fail("an int")
+        return value
+    if type_str == "float":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise fail("a number")
+        return float(value)
+    if type_str == "str":
+        if not isinstance(value, str):
+            raise fail("a string")
+        return value
+    if type_str == "Optional[str]":
+        if value is not None and not isinstance(value, str):
+            raise fail("a string or null")
+        return value
+    if type_str == "Optional[Tuple[float, ...]]":
+        if value is None:
+            return None
+        if not isinstance(value, (list, tuple)) or any(
+            isinstance(v, bool) or not isinstance(v, (int, float)) for v in value
+        ):
+            raise fail("a list of numbers or null")
+        return tuple(float(v) for v in value)
+    if type_str == "Optional[Tuple[str, ...]]":
+        if value is None:
+            return None
+        if not isinstance(value, (list, tuple)) or any(
+            not isinstance(v, str) for v in value
+        ):
+            raise fail("a list of strings or null")
+        return tuple(value)
+    raise ValueError(
+        f"config key {name!r} has unsupported field type {type_str!r}"
+    )
 
 
 @dataclasses.dataclass
@@ -96,6 +171,17 @@ class ExperimentConfig:
     transmission_strategy: str = "adaptive"
     mobility_modes: Optional[Tuple[str, ...]] = None
 
+    # Execution engine (see :mod:`repro.federated.executor`): which
+    # backend runs participant local steps.  ``serial`` is the in-process
+    # reference; ``process`` fans tasks out over a multiprocessing pool.
+    # Seeded results are bit-identical across backends.
+    backend: str = dataclasses.field(default_factory=_default_backend)
+    #: worker processes for the ``process`` backend; 0 = auto
+    #: (``min(num_participants, cpu_count)``)
+    num_workers: int = 0
+    #: per-task deadline (queueing + compute) before a retry / offline fallback
+    task_timeout_s: float = 60.0
+
     # Telemetry (see :mod:`repro.telemetry`): enabled in-memory by
     # default; set ``telemetry_log_path`` to also stream JSONL events to
     # a run-log file, or ``telemetry_enabled=False`` for the no-op
@@ -117,10 +203,95 @@ class ExperimentConfig:
             raise ValueError(
                 f"telemetry_buffer_size must be >= 1, got {self.telemetry_buffer_size}"
             )
+        if self.staleness_policy not in _STALENESS_POLICIES:
+            raise ValueError(
+                f"staleness_policy must be one of {_STALENESS_POLICIES}, "
+                f"got {self.staleness_policy!r}"
+            )
+        if self.transmission_strategy not in STRATEGIES:
+            raise ValueError(
+                f"transmission_strategy must be one of {STRATEGIES}, "
+                f"got {self.transmission_strategy!r}"
+            )
+        if self.staleness_mix is not None:
+            mix = self.staleness_mix
+            if len(mix) == 0:
+                raise ValueError("staleness_mix must not be empty")
+            if any(p < 0 for p in mix):
+                raise ValueError(
+                    f"staleness_mix entries must be non-negative, got {mix}"
+                )
+            if sum(mix) <= 0:
+                raise ValueError(f"staleness_mix must have positive mass, got {mix}")
+            limit = self.staleness_threshold + 2
+            if len(mix) > limit:
+                raise ValueError(
+                    f"staleness_mix has {len(mix)} entries but staleness_threshold="
+                    f"{self.staleness_threshold} admits at most {limit} "
+                    f"(τ = 0..{self.staleness_threshold} plus one overflow bucket)"
+                )
+        if self.mobility_modes is not None:
+            for mode in self.mobility_modes:
+                if mode not in MOBILITY_MODES:
+                    raise ValueError(
+                        f"unknown mobility mode {mode!r}; choose from "
+                        f"{sorted(MOBILITY_MODES)}"
+                    )
+        if self.backend not in _EXECUTION_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_EXECUTION_BACKENDS}, got {self.backend!r}"
+            )
+        if self.num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+        if self.task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be positive, got {self.task_timeout_s}"
+            )
 
     @property
     def num_classes(self) -> int:
         return 20 if self.dataset == "cifar100" else 10
+
+    # ------------------------------------------------------------------
+    # Serialization (the ``--config experiment.json`` round trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of every field (tuples become lists).
+
+        ``ExperimentConfig.from_dict(config.to_dict()) == config`` holds
+        for every constructible config.
+        """
+        data = dataclasses.asdict(self)
+        for key in ("staleness_mix", "mobility_modes"):
+            if data[key] is not None:
+                data[key] = list(data[key])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentConfig":
+        """Build a config from a plain dict (e.g. a parsed JSON file).
+
+        Unknown keys and wrongly-typed values raise :class:`ValueError`
+        naming the offending key, so a typo in a config file fails at
+        load time with a clear message instead of deep inside the
+        pipeline.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"config data must be a dict, got {type(data).__name__}"
+            )
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - set(fields))
+        if unknown:
+            raise ValueError(
+                f"unknown config key(s): {', '.join(unknown)}; "
+                f"valid keys: {', '.join(sorted(fields))}"
+            )
+        kwargs = {
+            name: _coerce_value(name, fields[name].type, value)
+            for name, value in data.items()
+        }
+        return cls(**kwargs)
 
     def supernet_config(self) -> SupernetConfig:
         return SupernetConfig(

@@ -45,19 +45,22 @@ __all__ = [
 
 
 @contextlib.contextmanager
-def _phase(telemetry: Optional[Telemetry], name: str):
+def _phase(telemetry: Optional[Telemetry], name: str, **fields):
     """Bracket one pipeline phase with span + phase_start/phase_end events."""
     if telemetry is None or not telemetry.enabled:
         yield
         return
-    telemetry.emit("phase_start", phase=name)
+    telemetry.emit("phase_start", phase=name, **fields)
     start = time.perf_counter()
     try:
         with telemetry.span(f"phase.{name}"):
             yield
     finally:
         telemetry.emit(
-            "phase_end", phase=name, duration_s=round(time.perf_counter() - start, 6)
+            "phase_end",
+            phase=name,
+            duration_s=round(time.perf_counter() - start, 6),
+            **fields,
         )
 
 
@@ -72,7 +75,7 @@ def run_warmup(
     server.config.update_alpha = False
     server.phase_label = "warmup"
     try:
-        with _phase(telemetry, "warmup"):
+        with _phase(telemetry, "warmup", backend=server.backend.name):
             return server.run(rounds)
     finally:
         server.config.update_alpha = previous
@@ -88,7 +91,7 @@ def run_search(
     previous_label = server.phase_label
     server.phase_label = "search"
     try:
-        with _phase(telemetry, "search"):
+        with _phase(telemetry, "search", backend=server.backend.name):
             return server.run(rounds)
     finally:
         server.phase_label = previous_label

@@ -39,6 +39,7 @@ from repro.federated import (
     Participant,
     RoundResult,
     SearchServerConfig,
+    build_backend,
 )
 from repro.network import mixed_traces
 from repro.search_space import Genotype, Supernet
@@ -97,6 +98,14 @@ class FederatedModelSearch:
         self.policy = ArchitecturePolicy(
             config.supernet_config().num_edges, rng=self.rng
         )
+        self.backend = build_backend(
+            config.backend,
+            self.participants,
+            config.supernet_config(),
+            num_workers=config.num_workers or None,
+            task_timeout_s=config.task_timeout_s,
+            telemetry=self.telemetry,
+        )
         self.server = FederatedSearchServer(
             self.supernet,
             self.policy,
@@ -105,6 +114,7 @@ class FederatedModelSearch:
             delay_model=self._delay_model(),
             rng=self.rng,
             telemetry=self.telemetry,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------
@@ -219,6 +229,15 @@ class FederatedModelSearch:
             )
         raise ValueError(f"mode must be 'centralized' or 'federated', got {mode!r}")
 
+    def close(self) -> None:
+        """Release executor workers and flush/close telemetry sinks.
+
+        Idempotent.  The execution backend re-acquires its workers
+        lazily, so a closed pipeline can still run further phases.
+        """
+        self.backend.close()
+        self.telemetry.close()
+
     def run(self, retrain_mode: str = "federated") -> SearchReport:
         """All four phases end to end."""
         telemetry = self.telemetry
@@ -230,10 +249,15 @@ class FederatedModelSearch:
             warmup_rounds=self.config.warmup_rounds,
             search_rounds=self.config.search_rounds,
             retrain_mode=retrain_mode,
+            backend=self.backend.name,
         )
         with telemetry.span("run"):
-            warmup_results = self.warm_up()
-            search_results = self.search()
+            try:
+                warmup_results = self.warm_up()
+                search_results = self.search()
+            finally:
+                # P3/P4 never dispatch tasks; return pool workers early.
+                self.backend.close()
             genotype = self.derive()
             model, retrain_recorder = self.retrain(genotype, mode=retrain_mode)
             accuracy = evaluate(model, self.test_set, telemetry=telemetry)

@@ -1,14 +1,25 @@
 """``repro.federated`` — the federated model-search system (Secs. IV-V)."""
 
 from .compensation import compensate_alpha_gradient, compensate_weight_gradients
+from .executor import (
+    BACKENDS,
+    ExecutionBackend,
+    ParticipantSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    TaskResult,
+    build_backend,
+)
 from .fedavg import FedAvgConfig, FedAvgTrainer
 from .memory import MemoryPools
 from .participant import (
     GTX_1080TI,
     JETSON_TX2,
     DeviceProfile,
+    LocalStepTask,
     Participant,
     ParticipantUpdate,
+    run_local_step,
 )
 from .server import FederatedSearchServer, RoundResult, SearchServerConfig
 from .synchronization import (
@@ -21,14 +32,23 @@ from .synchronization import (
 __all__ = [
     "compensate_alpha_gradient",
     "compensate_weight_gradients",
+    "BACKENDS",
+    "ExecutionBackend",
+    "ParticipantSpec",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "TaskResult",
+    "build_backend",
     "FedAvgConfig",
     "FedAvgTrainer",
     "MemoryPools",
     "DeviceProfile",
     "GTX_1080TI",
     "JETSON_TX2",
+    "LocalStepTask",
     "Participant",
     "ParticipantUpdate",
+    "run_local_step",
     "FederatedSearchServer",
     "RoundResult",
     "SearchServerConfig",

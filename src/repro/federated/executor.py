@@ -1,0 +1,414 @@
+"""Pluggable execution engines for participant local steps.
+
+The server round loop produces a list of :class:`~repro.federated.participant.LocalStepTask`
+messages and hands them to an :class:`ExecutionBackend`; the backend
+returns one :class:`TaskResult` per task, **in task order**, each
+carrying either the participant's :class:`~repro.federated.participant.ParticipantUpdate`
+or a failure record.  Two backends ship:
+
+* :class:`SerialBackend` — runs every task in-process, in order.  This
+  is the default and matches the historical single-process behaviour.
+* :class:`ProcessPoolBackend` — a ``multiprocessing`` pool whose workers
+  are initialised **once** with the (immutable) shard data and supernet
+  geometry; per round only the tasks travel.  Tasks get a per-task
+  timeout and one retry; a worker crash or repeated timeout degrades the
+  participant to *offline for that round* (feeding the existing
+  soft-synchronisation path) instead of killing the search.
+
+Determinism contract: every source of randomness a local step consumes is
+inside the task (``batch_seed``, ``mask``, ``state``), so seeded runs are
+bit-identical across backends regardless of worker scheduling.  The
+equivalence is enforced by ``tests/test_executor.py``.
+
+Telemetry: backends emit ``executor.dispatch`` / ``executor.task_retry``
+/ ``executor.worker_crash`` events, per-task queue/compute timing
+histograms (``executor.task_queue_s`` / ``executor.task_compute_s``),
+and an ``executor.inflight`` gauge.  Worker processes run without
+telemetry (spans cannot cross process boundaries); all events are
+emitted from the coordinating process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import os
+import time
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.data import ArrayDataset, Compose
+from repro.search_space import SupernetConfig
+from repro.telemetry import Telemetry
+
+from .participant import (
+    GTX_1080TI,
+    DeviceProfile,
+    LocalStepTask,
+    Participant,
+    ParticipantUpdate,
+    run_local_step,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ParticipantSpec",
+    "TaskResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "build_backend",
+]
+
+#: Names accepted by :func:`build_backend`, ``ExperimentConfig.backend``,
+#: and the CLI ``--backend`` flag.
+BACKENDS = ("serial", "process")
+
+
+@dataclasses.dataclass(frozen=True)
+class ParticipantSpec:
+    """The immutable, picklable slice of a participant workers need.
+
+    Worker processes never see live :class:`Participant` objects (those
+    hold RNG state, traces, and telemetry handles that must stay in the
+    coordinator); they get the data shard and the static step physics.
+    """
+
+    participant_id: int
+    dataset: ArrayDataset
+    batch_size: int
+    transform: Optional[Compose] = None
+    device: DeviceProfile = GTX_1080TI
+
+    @staticmethod
+    def from_participant(participant: Participant) -> "ParticipantSpec":
+        return ParticipantSpec(
+            participant_id=participant.participant_id,
+            dataset=participant.dataset,
+            batch_size=participant.loader.batch_size,
+            transform=participant.loader.transform,
+            device=participant.device,
+        )
+
+
+@dataclasses.dataclass
+class TaskResult:
+    """Outcome of one dispatched task.
+
+    ``update is None`` means the task failed permanently (worker crash,
+    repeated timeout, or repeated exception); the server records the
+    participant as offline for the round.
+    """
+
+    participant_id: int
+    update: Optional[ParticipantUpdate]
+    attempts: int = 1
+    error: Optional[str] = None
+    #: wall-clock seconds the task spent waiting before compute started
+    queue_s: float = 0.0
+    #: wall-clock seconds of actual compute (as measured by the executor)
+    compute_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.update is not None
+
+
+class ExecutionBackend(Protocol):
+    """What the server requires of an execution engine."""
+
+    #: short name surfaced in telemetry and reports ("serial", "process")
+    name: str
+
+    def run_tasks(self, tasks: Sequence[LocalStepTask]) -> List[TaskResult]:
+        """Execute ``tasks``, returning results in task order."""
+        ...
+
+    def close(self) -> None:
+        """Release worker resources.  Idempotent; backends may lazily
+        re-acquire them if used again afterwards."""
+        ...
+
+
+class SerialBackend:
+    """In-process, in-order execution — the reference backend.
+
+    ``fault_hook`` mirrors :class:`ProcessPoolBackend`'s injection point
+    (called with each task before execution) so chaos/latency experiments
+    can compare backends apples-to-apples; unlike the process backend a
+    hook failure here propagates, since there is no worker boundary to
+    absorb it.
+    """
+
+    name = "serial"
+
+    def __init__(
+        self,
+        participants: Sequence[Participant],
+        supernet_config: SupernetConfig,
+        telemetry: Optional[Telemetry] = None,
+        fault_hook: Optional[Callable[[LocalStepTask], None]] = None,
+    ):
+        self._participants = {p.participant_id: p for p in participants}
+        self._supernet_config = supernet_config
+        self.telemetry = telemetry or Telemetry.disabled()
+        self._fault_hook = fault_hook
+
+    def run_tasks(self, tasks: Sequence[LocalStepTask]) -> List[TaskResult]:
+        telemetry = self.telemetry
+        results: List[TaskResult] = []
+        for position, task in enumerate(tasks):
+            if telemetry.enabled:
+                telemetry.gauge("executor.inflight", len(tasks) - position)
+                telemetry.emit(
+                    "executor.dispatch",
+                    backend=self.name,
+                    round=task.round_index,
+                    participant=task.participant_id,
+                )
+            start = time.perf_counter()
+            if self._fault_hook is not None:
+                self._fault_hook(task)
+            update = self._participants[task.participant_id].execute_task(
+                task, self._supernet_config
+            )
+            wall = time.perf_counter() - start
+            if telemetry.enabled:
+                telemetry.observe("executor.task_queue_s", 0.0)
+                telemetry.observe("executor.task_compute_s", wall)
+            results.append(
+                TaskResult(task.participant_id, update, attempts=1, compute_s=wall)
+            )
+        if telemetry.enabled:
+            telemetry.gauge("executor.inflight", 0)
+        return results
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend
+# ----------------------------------------------------------------------
+
+#: Per-worker state installed by :func:`_init_worker` (one copy per
+#: worker process; immutable after initialisation).
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    specs: Sequence[ParticipantSpec],
+    supernet_config: SupernetConfig,
+    fault_hook: Optional[Callable[[LocalStepTask], None]],
+) -> None:
+    _WORKER_STATE["specs"] = {spec.participant_id: spec for spec in specs}
+    _WORKER_STATE["supernet_config"] = supernet_config
+    _WORKER_STATE["fault_hook"] = fault_hook
+
+
+def _run_task(task: LocalStepTask) -> Tuple[ParticipantUpdate, float]:
+    hook = _WORKER_STATE.get("fault_hook")
+    if hook is not None:
+        hook(task)
+    specs: Dict[int, ParticipantSpec] = _WORKER_STATE["specs"]  # type: ignore[assignment]
+    spec = specs[task.participant_id]
+    start = time.perf_counter()
+    update = run_local_step(
+        task,
+        spec.dataset,
+        spec.batch_size,
+        _WORKER_STATE["supernet_config"],  # type: ignore[arg-type]
+        transform=spec.transform,
+        device=spec.device,
+    )
+    return update, time.perf_counter() - start
+
+
+class ProcessPoolBackend:
+    """Parallel local steps on a ``multiprocessing`` worker pool.
+
+    Parameters
+    ----------
+    participants:
+        Live participants or pre-built :class:`ParticipantSpec` objects;
+        live ones are converted (only their immutable slice travels).
+    supernet_config:
+        Geometry workers use to rebuild sub-models from task masks.
+    num_workers:
+        Pool size; ``None``/``0`` picks ``min(#participants, cpu_count)``.
+    task_timeout_s:
+        Per-attempt deadline (covers queueing + compute, so size it above
+        a full round's backlog per worker).
+    max_retries:
+        Re-dispatches after a timeout or worker exception (default 1).
+    fault_hook:
+        Optional callable run inside the worker before each task —
+        injection point for crash/latency chaos testing.  Must be
+        picklable under the chosen start method.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap, inherits the parent's loaded modules) else
+        ``spawn``.
+
+    The pool is created lazily on first use and torn down by
+    :meth:`close`; a closed backend transparently re-creates its pool if
+    tasks arrive again.  Dead workers are replaced automatically by
+    ``multiprocessing.Pool``, so a crashed worker costs one task timeout,
+    not the search.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        participants: Sequence[object],
+        supernet_config: SupernetConfig,
+        num_workers: Optional[int] = None,
+        task_timeout_s: float = 60.0,
+        max_retries: int = 1,
+        telemetry: Optional[Telemetry] = None,
+        fault_hook: Optional[Callable[[LocalStepTask], None]] = None,
+        start_method: Optional[str] = None,
+    ):
+        if task_timeout_s <= 0:
+            raise ValueError(f"task_timeout_s must be positive, got {task_timeout_s}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self._specs = [
+            spec
+            if isinstance(spec, ParticipantSpec)
+            else ParticipantSpec.from_participant(spec)  # type: ignore[arg-type]
+            for spec in participants
+        ]
+        if not self._specs:
+            raise ValueError("at least one participant required")
+        self._supernet_config = supernet_config
+        self.num_workers = int(num_workers) if num_workers else min(
+            len(self._specs), os.cpu_count() or 2
+        )
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        self.task_timeout_s = float(task_timeout_s)
+        self.max_retries = int(max_retries)
+        self.telemetry = telemetry or Telemetry.disabled()
+        self._fault_hook = fault_hook
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._pool: Optional[mp.pool.Pool] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> "mp.pool.Pool":
+        if self._pool is None:
+            self._pool = self._ctx.Pool(
+                processes=self.num_workers,
+                initializer=_init_worker,
+                initargs=(self._specs, self._supernet_config, self._fault_hook),
+            )
+        return self._pool
+
+    def run_tasks(self, tasks: Sequence[LocalStepTask]) -> List[TaskResult]:
+        pool = self._ensure_pool()
+        telemetry = self.telemetry
+        submissions = []
+        for task in tasks:
+            if telemetry.enabled:
+                telemetry.emit(
+                    "executor.dispatch",
+                    backend=self.name,
+                    round=task.round_index,
+                    participant=task.participant_id,
+                )
+            submissions.append(
+                (pool.apply_async(_run_task, (task,)), time.perf_counter())
+            )
+        if telemetry.enabled:
+            telemetry.gauge("executor.inflight", len(tasks))
+
+        results: List[TaskResult] = []
+        for position, task in enumerate(tasks):
+            handle, submitted_at = submissions[position]
+            results.append(self._collect(task, handle, submitted_at))
+            if telemetry.enabled:
+                telemetry.gauge("executor.inflight", len(tasks) - position - 1)
+        return results
+
+    def _collect(self, task: LocalStepTask, handle, submitted_at: float) -> TaskResult:
+        telemetry = self.telemetry
+        attempts = 1
+        while True:
+            error: str
+            try:
+                update, compute_wall = handle.get(timeout=self.task_timeout_s)
+                turnaround = time.perf_counter() - submitted_at
+                queue_s = max(0.0, turnaround - compute_wall)
+                if telemetry.enabled:
+                    telemetry.observe("executor.task_queue_s", queue_s)
+                    telemetry.observe("executor.task_compute_s", compute_wall)
+                return TaskResult(
+                    task.participant_id,
+                    update,
+                    attempts=attempts,
+                    queue_s=queue_s,
+                    compute_s=compute_wall,
+                )
+            except mp.TimeoutError:
+                error = f"task timed out after {self.task_timeout_s:g}s"
+            except Exception as exc:  # remote exception or dead worker
+                error = f"{type(exc).__name__}: {exc}"
+            if attempts > self.max_retries:
+                if telemetry.enabled:
+                    telemetry.count("executor.worker_crashes")
+                    telemetry.emit(
+                        "executor.worker_crash",
+                        backend=self.name,
+                        round=task.round_index,
+                        participant=task.participant_id,
+                        attempts=attempts,
+                        error=error,
+                    )
+                return TaskResult(
+                    task.participant_id, None, attempts=attempts, error=error
+                )
+            attempts += 1
+            if telemetry.enabled:
+                telemetry.count("executor.task_retries")
+                telemetry.emit(
+                    "executor.task_retry",
+                    backend=self.name,
+                    round=task.round_index,
+                    participant=task.participant_id,
+                    attempt=attempts,
+                    error=error,
+                )
+            handle = self._ensure_pool().apply_async(_run_task, (task,))
+            submitted_at = time.perf_counter()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def build_backend(
+    name: str,
+    participants: Sequence[Participant],
+    supernet_config: SupernetConfig,
+    num_workers: Optional[int] = None,
+    task_timeout_s: float = 60.0,
+    telemetry: Optional[Telemetry] = None,
+) -> ExecutionBackend:
+    """Construct the backend ``name`` ("serial" or "process")."""
+    if name == "serial":
+        return SerialBackend(participants, supernet_config, telemetry=telemetry)
+    if name == "process":
+        return ProcessPoolBackend(
+            participants,
+            supernet_config,
+            num_workers=num_workers,
+            task_timeout_s=task_timeout_s,
+            telemetry=telemetry,
+        )
+    raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")

@@ -5,6 +5,15 @@ receive a sub-model, sample one local mini-batch, run one forward/backward
 pass, return the weight gradients and the training-accuracy reward —
 both obtained from the same backward propagation.
 
+The server↔participant boundary is an explicit message API:
+:class:`LocalStepTask` (what the server sends) in,
+:class:`ParticipantUpdate` (what comes back) out.  Both are plain
+picklable dataclasses, and :func:`run_local_step` is a pure function of
+the task plus the participant's static local state (shard, batch size,
+device profile) — no shared mutable objects cross the boundary, which is
+what lets :mod:`repro.federated.executor` run local steps in worker
+processes and still produce bit-identical results.
+
 Participants also carry a :class:`DeviceProfile` (how fast they compute)
 and a bandwidth trace (how fast they communicate), which the simulator
 uses to produce realistic round timings (Table V, Fig. 7).
@@ -21,15 +30,17 @@ import repro.nn as nn
 from repro.data import ArrayDataset, Compose, DataLoader
 from repro.evaluation import batch_accuracy
 from repro.network import BandwidthTrace
-from repro.search_space import Supernet
+from repro.search_space import ArchitectureMask, Supernet, SupernetConfig
 from repro.telemetry import Telemetry
 
 __all__ = [
     "DeviceProfile",
     "GTX_1080TI",
     "JETSON_TX2",
+    "LocalStepTask",
     "ParticipantUpdate",
     "Participant",
+    "run_local_step",
 ]
 
 
@@ -63,6 +74,26 @@ GTX_1080TI = DeviceProfile("gtx-1080ti", seconds_per_param_sample=2.0e-8)
 JETSON_TX2 = DeviceProfile("jetson-tx2", seconds_per_param_sample=8.0e-8)
 
 
+@dataclasses.dataclass(frozen=True)
+class LocalStepTask:
+    """One unit of participant work, as the server puts it on the wire.
+
+    Everything a local step depends on travels inside the task: the
+    pruned sub-model weights, the architecture mask to rebuild the
+    sub-model's structure from, and the seed of the mini-batch draw.
+    Batch-seed derivation lives on the *server* side (drawn from the
+    participant's RNG in dispatch order) so that worker scheduling order
+    can never perturb RNG streams — seeded runs are bit-identical under
+    every execution backend.
+    """
+
+    participant_id: int
+    round_index: int
+    mask: ArchitectureMask
+    state: Dict[str, np.ndarray]
+    batch_seed: int
+
+
 @dataclasses.dataclass
 class ParticipantUpdate:
     """What a participant returns to the server (Alg. 1 line 42).
@@ -79,6 +110,69 @@ class ParticipantUpdate:
     num_samples: int
     compute_time_s: float
     buffers: Dict[str, np.ndarray] = dataclasses.field(default_factory=dict)
+
+
+def _train_on_batch(
+    submodel: Supernet,
+    x: np.ndarray,
+    y: np.ndarray,
+    participant_id: int,
+    device: DeviceProfile,
+) -> ParticipantUpdate:
+    """One forward/backward pass on ``(x, y)`` (Alg. 1 lines 40-42)."""
+    submodel.train()
+    submodel.zero_grad()
+    logits = submodel(x)
+    loss = nn.functional.cross_entropy(logits, y)
+    loss.backward()
+    gradients = {
+        name: param.grad.copy()
+        for name, param in submodel.named_parameters()
+        if param.grad is not None
+    }
+    buffers = {
+        name: np.array(value, copy=True) for name, value in submodel.named_buffers()
+    }
+    reward = batch_accuracy(logits, y)
+    compute_time = device.train_time(submodel.num_parameters(), len(y))
+    return ParticipantUpdate(
+        participant_id=participant_id,
+        gradients=gradients,
+        reward=reward,
+        num_samples=len(y),
+        compute_time_s=compute_time,
+        buffers=buffers,
+    )
+
+
+def run_local_step(
+    task: LocalStepTask,
+    dataset: ArrayDataset,
+    batch_size: int,
+    supernet_config: SupernetConfig,
+    transform: Optional[Compose] = None,
+    device: DeviceProfile = GTX_1080TI,
+) -> ParticipantUpdate:
+    """Execute one :class:`LocalStepTask` — the pure server↔participant step.
+
+    Rebuilds the sub-model from ``task.mask`` + ``task.state``, draws the
+    local mini-batch from ``task.batch_seed``, and runs one
+    forward/backward pass.  Every source of randomness is in the task, so
+    the same task always yields the same :class:`ParticipantUpdate`, in
+    any process, under any scheduling order.
+    """
+    submodel = Supernet(
+        supernet_config, rng=np.random.default_rng(0), mask=task.mask
+    )
+    submodel.load_state_dict(dict(task.state))
+    loader = DataLoader(
+        dataset,
+        batch_size=min(batch_size, len(dataset)),
+        transform=transform,
+        rng=np.random.default_rng(task.batch_seed),
+    )
+    x, y = loader.sample_batch()
+    return _train_on_batch(submodel, x, y, task.participant_id, device)
 
 
 class Participant:
@@ -129,40 +223,53 @@ class Participant:
             dataset, batch_size=batch_size, transform=transform, rng=self.rng
         )
 
+    def draw_batch_seed(self) -> int:
+        """Next mini-batch seed from this participant's private RNG stream.
+
+        The *server* calls this while building a :class:`LocalStepTask`
+        (in deterministic dispatch order), so the seed sequence — and
+        hence every batch a participant ever trains on — is independent
+        of which execution backend runs the step.
+        """
+        return int(self.rng.integers(0, 2**63))
+
+    def execute_task(
+        self, task: LocalStepTask, supernet_config: SupernetConfig
+    ) -> ParticipantUpdate:
+        """Run one :class:`LocalStepTask` in-process (the serial backend)."""
+        with self.telemetry.span(
+            "participant.local_step", participant=self.participant_id
+        ):
+            return run_local_step(
+                task,
+                self.dataset,
+                self.loader.batch_size,
+                supernet_config,
+                transform=self.loader.transform,
+                device=self.device,
+            )
+
     def local_update(self, submodel: Supernet) -> ParticipantUpdate:
         """Train the received sub-model on one local batch (Alg. 1 37-42).
 
         Both the weight gradients and the reward (training accuracy, the
         ``ACC`` of Eq. 8) come from the same forward/backward pass.
+
+        .. deprecated:: direct live-object dispatch
+            The server no longer calls this; rounds go through
+            :class:`LocalStepTask` + :func:`run_local_step` (see
+            :mod:`repro.federated.executor`).  ``local_update`` remains
+            for callers holding an extracted sub-model; note it draws the
+            batch from the participant's *stateful* loader RNG rather
+            than a task seed.
         """
         with self.telemetry.span(
             "participant.local_step", participant=self.participant_id
         ):
-            return self._local_update_inner(submodel)
-
-    def _local_update_inner(self, submodel: Supernet) -> ParticipantUpdate:
-        x, y = self.loader.sample_batch()
-        submodel.train()
-        submodel.zero_grad()
-        logits = submodel(x)
-        loss = nn.functional.cross_entropy(logits, y)
-        loss.backward()
-        gradients = {
-            name: param.grad.copy()
-            for name, param in submodel.named_parameters()
-            if param.grad is not None
-        }
-        buffers = {name: np.array(value, copy=True) for name, value in submodel.named_buffers()}
-        reward = batch_accuracy(logits, y)
-        compute_time = self.device.train_time(submodel.num_parameters(), len(y))
-        return ParticipantUpdate(
-            participant_id=self.participant_id,
-            gradients=gradients,
-            reward=reward,
-            num_samples=len(y),
-            compute_time_s=compute_time,
-            buffers=buffers,
-        )
+            x, y = self.loader.sample_batch()
+            return _train_on_batch(
+                submodel, x, y, self.participant_id, self.device
+            )
 
     def num_samples(self) -> int:
         return len(self.dataset)

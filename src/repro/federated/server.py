@@ -4,8 +4,10 @@ Each round the server:
 
 1. snapshots ``θ`` and ``α`` into the staleness memory pools,
 2. samples one architecture mask per participant from the policy (Eq. 4-5),
-3. prunes the supernet into sub-models and dispatches them, matching
-   sub-model sizes to participant bandwidths (adaptive transmission),
+3. prunes the supernet into per-participant :class:`LocalStepTask`
+   messages (sub-model state + mask + batch seed) and dispatches them
+   through the pluggable execution backend, matching sub-model sizes to
+   participant bandwidths (adaptive transmission),
 4. collects the updates that arrive this round — fresh ones directly,
    stale ones repaired by delay compensation (Eq. 13, 15) or handled by
    the configured fallback ("use" / "throw"),
@@ -38,8 +40,9 @@ from repro.search_space import ArchitectureMask, Genotype, Supernet, derive_geno
 from repro.telemetry import Telemetry
 
 from .compensation import compensate_alpha_gradient, compensate_weight_gradients
+from .executor import ExecutionBackend, SerialBackend
 from .memory import MemoryPools
-from .participant import Participant, ParticipantUpdate
+from .participant import LocalStepTask, Participant, ParticipantUpdate
 from .synchronization import HardSync
 
 __all__ = ["SearchServerConfig", "RoundResult", "FederatedSearchServer"]
@@ -119,6 +122,7 @@ class FederatedSearchServer:
         delay_model=None,
         rng: Optional[np.random.Generator] = None,
         telemetry: Optional[Telemetry] = None,
+        backend: Optional[ExecutionBackend] = None,
     ):
         if not participants:
             raise ValueError("at least one participant required")
@@ -134,6 +138,13 @@ class FederatedSearchServer:
         self.delay_model = delay_model or HardSync()
         self.rng = rng or np.random.default_rng()
         self.telemetry = telemetry or Telemetry.disabled()
+        #: execution engine for participant local steps; local steps are
+        #: dispatched as :class:`LocalStepTask` messages and collected as
+        #: :class:`ParticipantUpdate` replies, so the backend may run
+        #: them serially, on a process pool, or (eventually) on a wire.
+        self.backend: ExecutionBackend = backend or SerialBackend(
+            self.participants, supernet.config, telemetry=self.telemetry
+        )
 
         self.theta_optimizer = nn.SGD(
             supernet.parameters(),
@@ -176,15 +187,24 @@ class FederatedSearchServer:
         max_latency = 0.0
         mean_size = 0.0
         round_duration = 0.0
+        num_failed = 0
         if online:
             masks, sizes = self._sample_submodels(len(online))
             assignment, max_latency, latencies = self._assign(sizes, online)
 
-            compute_times = np.zeros(len(online))
+            tasks: List[LocalStepTask] = []
             for slot, k in enumerate(online):
                 mask = masks[assignment[slot]]
                 self.pools.save_mask(t, k, mask)
-                submodel = self.supernet.extract_submodel(mask, rng=self.rng)
+                tasks.append(
+                    LocalStepTask(
+                        participant_id=k,
+                        round_index=t,
+                        mask=mask,
+                        state=self.supernet.submodel_state(mask),
+                        batch_seed=self.participants[k].draw_batch_seed(),
+                    )
+                )
                 if telemetry.enabled:
                     telemetry.emit(
                         "dispatch",
@@ -194,27 +214,53 @@ class FederatedSearchServer:
                         latency_s=float(latencies[slot]) if latencies is not None else 0.0,
                     )
                     telemetry.observe("submodel.bytes", sizes[assignment[slot]])
-                update = self.participants[k].local_update(submodel)
-                compute_times[slot] = update.compute_time_s
+
+            task_results = self.backend.run_tasks(tasks)
+
+            delivered_sizes: List[float] = []
+            delivered_indices: List[int] = []
+            compute_times: List[float] = []
+            for slot, result in enumerate(task_results):
+                if not result.ok:
+                    # Worker crash / timeout: the participant is offline
+                    # this round; soft synchronisation absorbs the gap.
+                    num_failed += 1
+                    if telemetry.enabled:
+                        telemetry.count("updates.task_failures")
+                        telemetry.emit(
+                            "participant_failed",
+                            round=t,
+                            participant=online[slot],
+                            attempts=result.attempts,
+                            error=result.error,
+                        )
+                    continue
                 self._pending.append(
                     _PendingUpdate(
-                        origin_round=t, delivery_round=-1, mask=mask, update=update
+                        origin_round=t,
+                        delivery_round=-1,
+                        mask=tasks[slot].mask,
+                        update=result.update,
                     )
                 )
+                delivered_sizes.append(sizes[assignment[slot]])
+                delivered_indices.append(online[slot])
+                compute_times.append(result.update.compute_time_s)
 
-            delays = self.delay_model.delays(
-                [sizes[assignment[slot]] for slot in range(len(online))],
-                compute_times,
-                start_time_s=self.clock_s,
-                participant_indices=online,
-            )
-            new_items = self._pending[-len(online):]
-            for item, tau in zip(new_items, delays.taus):
-                item.delivery_round = t + int(tau)
+            if delivered_indices:
+                delays = self.delay_model.delays(
+                    delivered_sizes,
+                    np.asarray(compute_times),
+                    start_time_s=self.clock_s,
+                    participant_indices=delivered_indices,
+                )
+                new_items = self._pending[-len(delivered_indices):]
+                for item, tau in zip(new_items, delays.taus):
+                    item.delivery_round = t + int(tau)
+                round_duration = delays.round_duration_s
             mean_size = float(np.mean(sizes))
-            round_duration = delays.round_duration_s
 
-        num_offline = len(self.participants) - len(online)
+        num_offline = len(self.participants) - len(online) + num_failed
         result = self._apply_arrivals(
             t, max_latency, mean_size, round_duration, num_offline
         )

@@ -1,0 +1,148 @@
+"""``ExperimentConfig`` serialization, validation, and backend plumbing."""
+
+import json
+
+import pytest
+
+from repro.core import ExperimentConfig
+
+
+class TestRoundTrip:
+    def test_small_profile_round_trips(self):
+        config = ExperimentConfig.small(seed=3)
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_paper_profile_round_trips(self):
+        config = ExperimentConfig.paper()
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_tuple_fields_round_trip(self):
+        config = ExperimentConfig.small(
+            staleness_mix=(0.3, 0.4, 0.2, 0.1),
+            mobility_modes=("bus", "car"),
+            telemetry_log_path="run.jsonl",
+            backend="process",
+            num_workers=4,
+        )
+        restored = ExperimentConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert isinstance(restored.staleness_mix, tuple)
+        assert isinstance(restored.mobility_modes, tuple)
+
+    def test_round_trips_through_json(self):
+        config = ExperimentConfig.small(
+            non_iid=True, staleness_mix=(0.9, 0.09, 0.009, 0.001)
+        )
+        blob = json.dumps(config.to_dict())
+        assert ExperimentConfig.from_dict(json.loads(blob)) == config
+
+    def test_partial_dict_uses_defaults(self):
+        config = ExperimentConfig.from_dict({"dataset": "svhn", "seed": 9})
+        assert config.dataset == "svhn"
+        assert config.seed == 9
+        assert config.num_participants == ExperimentConfig().num_participants
+
+
+class TestFromDictErrors:
+    def test_unknown_key_rejected_by_name(self):
+        with pytest.raises(ValueError, match="datasset"):
+            ExperimentConfig.from_dict({"datasset": "cifar10"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="dict"):
+            ExperimentConfig.from_dict(["dataset", "cifar10"])
+
+    def test_wrong_type_string_for_int(self):
+        with pytest.raises(ValueError, match="num_participants"):
+            ExperimentConfig.from_dict({"num_participants": "4"})
+
+    def test_wrong_type_bool_for_int(self):
+        with pytest.raises(ValueError, match="seed"):
+            ExperimentConfig.from_dict({"seed": True})
+
+    def test_wrong_type_string_for_bool(self):
+        with pytest.raises(ValueError, match="non_iid"):
+            ExperimentConfig.from_dict({"non_iid": "yes"})
+
+    def test_wrong_type_number_for_string(self):
+        with pytest.raises(ValueError, match="dataset"):
+            ExperimentConfig.from_dict({"dataset": 10})
+
+    def test_wrong_type_scalar_for_mix(self):
+        with pytest.raises(ValueError, match="staleness_mix"):
+            ExperimentConfig.from_dict({"staleness_mix": 0.5})
+
+    def test_int_accepted_for_float_field(self):
+        config = ExperimentConfig.from_dict({"theta_grad_clip": 5})
+        assert config.theta_grad_clip == 5.0
+        assert isinstance(config.theta_grad_clip, float)
+
+
+class TestValidation:
+    def test_bad_staleness_policy(self):
+        with pytest.raises(ValueError, match="staleness_policy"):
+            ExperimentConfig(staleness_policy="hope")
+
+    def test_bad_transmission_strategy(self):
+        with pytest.raises(ValueError, match="transmission_strategy"):
+            ExperimentConfig(transmission_strategy="psychic")
+
+    def test_negative_staleness_mix_entry(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ExperimentConfig(staleness_mix=(0.5, -0.1, 0.6))
+
+    def test_empty_staleness_mix(self):
+        with pytest.raises(ValueError, match="empty"):
+            ExperimentConfig(staleness_mix=())
+
+    def test_zero_mass_staleness_mix(self):
+        with pytest.raises(ValueError, match="positive mass"):
+            ExperimentConfig(staleness_mix=(0.0, 0.0))
+
+    def test_overlong_staleness_mix(self):
+        # threshold 2 admits τ = 0, 1, 2 plus one overflow bucket = 4.
+        with pytest.raises(ValueError, match="staleness_threshold"):
+            ExperimentConfig(
+                staleness_threshold=2, staleness_mix=(0.2, 0.2, 0.2, 0.2, 0.2)
+            )
+
+    def test_max_length_staleness_mix_accepted(self):
+        config = ExperimentConfig(
+            staleness_threshold=2, staleness_mix=(0.25, 0.25, 0.25, 0.25)
+        )
+        assert config.staleness_mix == (0.25, 0.25, 0.25, 0.25)
+
+    def test_unknown_mobility_mode(self):
+        with pytest.raises(ValueError, match="mobility mode"):
+            ExperimentConfig(mobility_modes=("bus", "teleport"))
+
+    def test_bad_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExperimentConfig(backend="quantum")
+
+    def test_negative_workers(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ExperimentConfig(num_workers=-1)
+
+    def test_nonpositive_task_timeout(self):
+        with pytest.raises(ValueError, match="task_timeout_s"):
+            ExperimentConfig(task_timeout_s=0.0)
+
+
+class TestBackendDefault:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert ExperimentConfig().backend == "serial"
+
+    def test_env_var_flips_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert ExperimentConfig().backend == "process"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert ExperimentConfig(backend="serial").backend == "serial"
+
+    def test_invalid_env_value_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "gpu")
+        with pytest.raises(ValueError, match="backend"):
+            ExperimentConfig()
