@@ -18,7 +18,11 @@ numpy deep-learning substrate:
 * :mod:`repro.baselines` — DARTS, ENAS, FedNAS, EvoFedNAS, fixed models;
 * :mod:`repro.core` — experiment configs and the four-phase pipeline;
 * :mod:`repro.telemetry` — structured events, metrics, spans, JSONL run
-  logs, and the ``python -m repro trace`` analyzer.
+  logs, and the ``python -m repro trace`` analyzer;
+* :mod:`repro.faults` — seeded, deterministic fault injection (corrupted
+  updates, drops, availability flaps, forced crashes);
+* :mod:`repro.checkpoint` — crash-consistent search checkpoints with
+  bit-identical resume.
 
 Quickstart::
 
@@ -29,13 +33,14 @@ Quickstart::
     print(report.genotype.describe(), report.test_accuracy)
 """
 
-from . import checkpoint, compare, reporting, telemetry
+from . import checkpoint, compare, faults, reporting, telemetry
 from .core import ExperimentConfig, FederatedModelSearch, SearchReport
 from .evaluation import CurveRecorder, evaluate_accuracy
+from .faults import FaultInjector, FaultPlan, FaultSpec, InjectedServerCrash
 from .search_space import Genotype
 from .telemetry import Telemetry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExperimentConfig",
@@ -43,6 +48,10 @@ __all__ = [
     "SearchReport",
     "CurveRecorder",
     "evaluate_accuracy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedServerCrash",
     "Genotype",
     "Telemetry",
     "__version__",

@@ -16,6 +16,12 @@ Two subcommands:
     lower wall-clock).  ``--config experiment.json`` loads an
     :class:`~repro.core.ExperimentConfig` from a JSON file; explicit CLI
     flags override file values, which override the profile defaults.
+    ``--faults plan.json`` injects deterministic faults (corruption,
+    drops, flaps, forced crashes); ``--checkpoint ckpt.zip
+    --checkpoint-every N`` writes crash-consistent checkpoints and
+    ``--resume ckpt.zip`` continues a run bit-identically (a run killed
+    by an injected crash exits with status 3 and prints the resume
+    command).
 
 ``repro trace``
     Summarizes a JSONL telemetry run log produced via
@@ -33,6 +39,7 @@ import json
 import sys
 
 from .core import ExperimentConfig, FederatedModelSearch
+from .faults import InjectedServerCrash
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
@@ -94,6 +101,30 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPars
     parser.add_argument(
         "--metrics", action="store_true",
         help="print the final metrics snapshot as Markdown tables",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="inject faults from a repro.faults.FaultPlan JSON file "
+        "(corrupted updates, drops, flaps, forced crashes); seeded and "
+        "deterministic",
+    )
+    parser.add_argument(
+        "--no-validation", action="store_true",
+        help="disable the server-side update validation/quarantine boundary",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a crash-consistent search checkpoint to PATH "
+        "(with --checkpoint-every)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint every N warm-up/search rounds (requires --checkpoint)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="CKPT",
+        help="resume a run from a checkpoint written via --checkpoint; "
+        "the embedded config is used (other config flags are ignored)",
     )
     return parser
 
@@ -191,6 +222,14 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["telemetry_log_path"] = args.telemetry_log
     if getattr(args, "no_telemetry", False):
         overrides["telemetry_enabled"] = False
+    if getattr(args, "faults", None):
+        overrides["fault_plan_path"] = args.faults
+    if getattr(args, "no_validation", False):
+        overrides["validate_updates"] = False
+    if getattr(args, "checkpoint", None):
+        overrides["checkpoint_path"] = args.checkpoint
+    if getattr(args, "checkpoint_every", None) is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
 
     profile = ExperimentConfig.paper if args.profile == "paper" else ExperimentConfig.small
     if getattr(args, "config", None):
@@ -215,12 +254,22 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def run_main(args: argparse.Namespace) -> int:
-    try:
-        config = config_from_args(args)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    pipeline = FederatedModelSearch(config)
+    resume_from = getattr(args, "resume", None)
+    if resume_from:
+        try:
+            pipeline = FederatedModelSearch.resume(resume_from)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot resume from {resume_from}: {exc}", file=sys.stderr)
+            return 2
+        config = pipeline.config
+        print(f"resumed from {resume_from} at round {pipeline.server.round}")
+    else:
+        try:
+            config = config_from_args(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        pipeline = FederatedModelSearch(config)
     print(
         f"dataset={config.dataset} non_iid={config.non_iid} "
         f"K={config.num_participants} seed={config.seed} "
@@ -229,6 +278,14 @@ def run_main(args: argparse.Namespace) -> int:
     print(f"supernet: {pipeline.supernet.num_parameters():,} parameters")
     try:
         report = pipeline.run(retrain_mode=args.retrain)
+    except InjectedServerCrash as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if config.checkpoint_every and config.checkpoint_path:
+            print(
+                f"resume with: python -m repro run --resume {config.checkpoint_path}",
+                file=sys.stderr,
+            )
+        return 3
     finally:
         pipeline.close()
     print()

@@ -38,10 +38,16 @@ class MovingAverageBaseline:
         return accuracy - self.value
 
     def update(self, accuracies: Sequence[float]) -> float:
-        """Fold a round of accuracies into the baseline; returns new value."""
-        if len(accuracies) == 0:
+        """Fold a round of accuracies into the baseline; returns new value.
+
+        Non-finite observations (NaN/Inf rewards from corrupted or
+        degraded rounds) are ignored — one poisoned value would
+        otherwise stick in the moving average forever.
+        """
+        finite = [a for a in accuracies if np.isfinite(a)]
+        if not finite:
             return self.value
-        round_mean = float(np.mean(accuracies))
+        round_mean = float(np.mean(finite))
         self.value = self.decay * round_mean + (1.0 - self.decay) * self.value
         return self.value
 

@@ -190,6 +190,24 @@ class ExperimentConfig:
     telemetry_log_path: Optional[str] = None
     telemetry_buffer_size: int = 65536
 
+    # Robustness (see :mod:`repro.federated.validation` and
+    # :mod:`repro.faults`): the server-side update trust boundary and
+    # deterministic fault injection.
+    validate_updates: bool = True
+    update_norm_limit: float = 1e4
+    strike_limit: int = 3
+    quarantine_rounds: int = 4
+    quarantine_backoff: float = 2.0
+    #: JSON fault plan (``repro.faults.FaultPlan``) to inject during the
+    #: warm-up/search rounds; None = fault-free run
+    fault_plan_path: Optional[str] = None
+
+    # Checkpointing (see :mod:`repro.checkpoint`): write a
+    # crash-consistent search checkpoint every N warm-up/search rounds
+    # (0 = off).  ``checkpoint_path`` is required when enabled.
+    checkpoint_every: int = 0
+    checkpoint_path: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.dataset not in ("cifar10", "svhn", "cifar100"):
             raise ValueError(
@@ -246,6 +264,28 @@ class ExperimentConfig:
         if self.task_timeout_s <= 0:
             raise ValueError(
                 f"task_timeout_s must be positive, got {self.task_timeout_s}"
+            )
+        if self.update_norm_limit < 0:
+            raise ValueError(
+                f"update_norm_limit must be >= 0, got {self.update_norm_limit}"
+            )
+        if self.strike_limit < 1:
+            raise ValueError(f"strike_limit must be >= 1, got {self.strike_limit}")
+        if self.quarantine_rounds < 1:
+            raise ValueError(
+                f"quarantine_rounds must be >= 1, got {self.quarantine_rounds}"
+            )
+        if self.quarantine_backoff < 1.0:
+            raise ValueError(
+                f"quarantine_backoff must be >= 1, got {self.quarantine_backoff}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every > 0 and not self.checkpoint_path:
+            raise ValueError(
+                "checkpoint_every > 0 requires checkpoint_path to be set"
             )
 
     @property

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import contextlib
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,19 +64,39 @@ def _phase(telemetry: Optional[Telemetry], name: str, **fields):
         )
 
 
+def _run_rounds(
+    server: FederatedSearchServer,
+    rounds: int,
+    on_round: Optional[Callable[[RoundResult], None]],
+) -> List[RoundResult]:
+    """Round loop with an optional per-round hook (checkpoint cadence)."""
+    results = []
+    for _ in range(rounds):
+        result = server.run_round()
+        results.append(result)
+        if on_round is not None:
+            on_round(result)
+    return results
+
+
 def run_warmup(
     server: FederatedSearchServer,
     rounds: int,
     telemetry: Optional[Telemetry] = None,
+    on_round: Optional[Callable[[RoundResult], None]] = None,
 ) -> List[RoundResult]:
-    """P1: federated supernet training with ``α`` fixed."""
+    """P1: federated supernet training with ``α`` fixed.
+
+    ``on_round`` is invoked after every completed round — the pipeline
+    hooks its checkpoint cadence here.
+    """
     previous = server.config.update_alpha
     previous_label = server.phase_label
     server.config.update_alpha = False
     server.phase_label = "warmup"
     try:
         with _phase(telemetry, "warmup", backend=server.backend.name):
-            return server.run(rounds)
+            return _run_rounds(server, rounds, on_round)
     finally:
         server.config.update_alpha = previous
         server.phase_label = previous_label
@@ -86,13 +106,14 @@ def run_search(
     server: FederatedSearchServer,
     rounds: int,
     telemetry: Optional[Telemetry] = None,
+    on_round: Optional[Callable[[RoundResult], None]] = None,
 ) -> List[RoundResult]:
-    """P2: the joint α/θ search (Alg. 1)."""
+    """P2: the joint α/θ search (Alg. 1); ``on_round`` as in warm-up."""
     previous_label = server.phase_label
     server.phase_label = "search"
     try:
         with _phase(telemetry, "search", backend=server.backend.name):
-            return server.run(rounds)
+            return _run_rounds(server, rounds, on_round)
     finally:
         server.phase_label = previous_label
 

@@ -22,6 +22,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.checkpoint import (
+    read_checkpoint_meta,
+    restore_search_state,
+    save_search_state,
+)
 from repro.controller import ArchitecturePolicy
 from repro.data import (
     ArrayDataset,
@@ -41,6 +46,7 @@ from repro.federated import (
     SearchServerConfig,
     build_backend,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.network import mixed_traces
 from repro.search_space import Genotype, Supernet
 from repro.telemetry import Telemetry, build_telemetry
@@ -106,6 +112,11 @@ class FederatedModelSearch:
             task_timeout_s=config.task_timeout_s,
             telemetry=self.telemetry,
         )
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.fault_plan_path:
+            self.fault_injector = FaultInjector(
+                FaultPlan.load(config.fault_plan_path), telemetry=self.telemetry
+            )
         self.server = FederatedSearchServer(
             self.supernet,
             self.policy,
@@ -115,7 +126,14 @@ class FederatedModelSearch:
             rng=self.rng,
             telemetry=self.telemetry,
             backend=self.backend,
+            fault_injector=self.fault_injector,
         )
+        #: rounds completed so far, per phase — survives checkpoint/resume
+        #: so a resumed pipeline's report covers the whole run.
+        self._completed: Dict[str, List[RoundResult]] = {
+            "warmup": [],
+            "search": [],
+        }
 
     # ------------------------------------------------------------------
     # Assembly
@@ -176,6 +194,11 @@ class FederatedModelSearch:
             staleness_policy=c.staleness_policy,
             compensation_lambda=c.compensation_lambda,
             transmission_strategy=c.transmission_strategy,
+            validate_updates=c.validate_updates,
+            update_norm_limit=c.update_norm_limit,
+            strike_limit=c.strike_limit,
+            quarantine_rounds=c.quarantine_rounds,
+            quarantine_backoff=c.quarantine_backoff,
         )
 
     def _delay_model(self):
@@ -188,19 +211,99 @@ class FederatedModelSearch:
         )
 
     # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: str) -> None:
+        """Write a crash-consistent checkpoint of the whole pipeline.
+
+        Beyond the server state (see :func:`repro.checkpoint.save_search_state`)
+        the checkpoint carries the experiment config and the per-phase
+        round results completed so far, so :meth:`resume` can rebuild an
+        equivalent pipeline from the file alone.
+        """
+        save_search_state(
+            self.server,
+            path,
+            extra={
+                "config": self.config.to_dict(),
+                "progress": {
+                    phase: [dataclasses.asdict(r) for r in results]
+                    for phase, results in self._completed.items()
+                },
+            },
+        )
+
+    @classmethod
+    def resume(
+        cls, path: str, telemetry: Optional[Telemetry] = None
+    ) -> "FederatedModelSearch":
+        """Rebuild a pipeline from a :meth:`save_checkpoint` file.
+
+        The resumed pipeline continues exactly where the saved one
+        stopped: :meth:`warm_up`/:meth:`search` run only the remaining
+        rounds, and a seeded resumed run is bit-identical to one that
+        never stopped.  Pending straggler updates are restored with the
+        checkpoint (not re-dispatched).  If the config names a fault
+        plan, injected crashes at or before the restored round are
+        marked as already fired so the resumed run doesn't crash again.
+        """
+        meta = read_checkpoint_meta(path)
+        extra = meta.get("extra") or {}
+        if "config" not in extra:
+            raise ValueError(
+                f"checkpoint {path!r} has no embedded config; it was written "
+                "by save_search_state directly — restore it with "
+                "repro.checkpoint.restore_search_state onto a server you built"
+            )
+        config = ExperimentConfig.from_dict(extra["config"])
+        pipeline = cls(config, telemetry=telemetry)
+        restore_search_state(pipeline.server, path)
+        progress = extra.get("progress") or {}
+        pipeline._completed = {
+            phase: [RoundResult(**item) for item in progress.get(phase, [])]
+            for phase in ("warmup", "search")
+        }
+        if pipeline.fault_injector is not None:
+            pipeline.fault_injector.mark_resumed(pipeline.server.round)
+        return pipeline
+
+    def _round_hook(self, phase: str):
+        """Per-round callback: record progress + checkpoint cadence."""
+
+        def hook(result: RoundResult) -> None:
+            self._completed[phase].append(result)
+            every = self.config.checkpoint_every
+            if every and self.server.round % every == 0:
+                self.save_checkpoint(self.config.checkpoint_path)
+
+        return hook
+
+    # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
     def warm_up(self) -> List[RoundResult]:
-        """P1: train θ with α frozen."""
-        return run_warmup(
-            self.server, self.config.warmup_rounds, telemetry=self.telemetry
-        )
+        """P1: train θ with α frozen (remaining rounds only after resume)."""
+        remaining = self.config.warmup_rounds - len(self._completed["warmup"])
+        if remaining > 0:
+            run_warmup(
+                self.server,
+                remaining,
+                telemetry=self.telemetry,
+                on_round=self._round_hook("warmup"),
+            )
+        return list(self._completed["warmup"])
 
     def search(self) -> List[RoundResult]:
-        """P2: the RL search."""
-        return run_search(
-            self.server, self.config.search_rounds, telemetry=self.telemetry
-        )
+        """P2: the RL search (remaining rounds only after resume)."""
+        remaining = self.config.search_rounds - len(self._completed["search"])
+        if remaining > 0:
+            run_search(
+                self.server,
+                remaining,
+                telemetry=self.telemetry,
+                on_round=self._round_hook("search"),
+            )
+        return list(self._completed["search"])
 
     def derive(self) -> Genotype:
         return self.server.derive()

@@ -1,0 +1,165 @@
+"""The deterministic fault injector the server consults each round.
+
+:class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete damage at three hook points inside
+:class:`~repro.federated.server.FederatedSearchServer`:
+
+* :meth:`maybe_crash` — start of every round; raises
+  :class:`~repro.faults.plan.InjectedServerCrash` when a
+  ``crash_server`` spec is due.
+* :meth:`force_offline` — during online sampling; flaps participant
+  availability.
+* :meth:`transform_update` — as each participant reply is collected;
+  corrupts, drops, or duplicates it *before* it enters the server's
+  pending queue, exactly where a hostile or broken device would.
+
+Determinism: the injector owns a private seeded RNG consumed in the
+server's (deterministic) iteration order, so a seeded run with a plan is
+bit-identical across repeats and execution backends.  The RNG state and
+the set of already-fired crash specs are exposed via
+:meth:`state_dict` / :meth:`load_state_dict` so checkpointed runs resume
+without replaying or skipping faults.
+
+Every injected fault is emitted as a ``fault.injected`` telemetry event
+(fields: ``kind``, ``round``, ``participant``) and counted under
+``faults.injected`` plus ``faults.<kind>``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.telemetry import Telemetry
+
+from .plan import FaultPlan, FaultSpec, InjectedServerCrash
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` deterministically; see module docs."""
+
+    def __init__(self, plan: FaultPlan, telemetry: Optional[Telemetry] = None):
+        self.plan = plan
+        self.telemetry = telemetry or Telemetry.disabled()
+        self.rng = np.random.default_rng(plan.seed)
+        #: indices (into ``plan.faults``) of one-shot specs already fired
+        self._fired: set = set()
+
+    # ------------------------------------------------------------------
+    # Hook points (called by the server)
+    # ------------------------------------------------------------------
+    def maybe_crash(self, round_t: int) -> None:
+        """Raise :class:`InjectedServerCrash` if a crash spec is due.
+
+        Called at the very start of a round, before any round state or
+        RNG draw, so the latest checkpoint resumes bit-identically.
+        """
+        for index, spec in enumerate(self.plan.faults):
+            if spec.kind != "crash_server" or index in self._fired:
+                continue
+            if round_t == spec.round_start:
+                self._fired.add(index)
+                self._emit(spec, round_t, None)
+                raise InjectedServerCrash(
+                    f"fault plan forced a server crash at round {round_t}"
+                )
+
+    def force_offline(self, round_t: int, participant: int) -> bool:
+        """Should ``participant`` be unreachable this round?"""
+        for spec in self.plan.faults:
+            if spec.kind != "offline":
+                continue
+            if spec.active(round_t, participant) and self._roll(spec):
+                self._emit(spec, round_t, participant)
+                return True
+        return False
+
+    def transform_update(self, round_t: int, participant: int, update) -> List:
+        """Damage one collected reply; returns the update(s) that survive.
+
+        ``[]`` means the reply was dropped in transit; two entries mean
+        it was duplicated.  Corruptions apply to deep copies, so pool
+        snapshots and the participant's own state never alias damaged
+        arrays.  Specs compose in plan order (e.g. corrupt + duplicate
+        yields two corrupted copies).
+        """
+        out = [update]
+        for spec in self.plan.faults:
+            if spec.kind in ("crash_server", "offline"):
+                continue
+            if not spec.active(round_t, participant) or not self._roll(spec):
+                continue
+            self._emit(spec, round_t, participant)
+            if spec.kind == "drop_update":
+                return []
+            if spec.kind == "duplicate_update":
+                out.append(copy.deepcopy(out[0]))
+            else:
+                out = [self._corrupt(spec, u) for u in out]
+        return out
+
+    # ------------------------------------------------------------------
+    # Resume support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "rng_state": self.rng.bit_generator.state,
+            "fired": sorted(self._fired),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.rng.bit_generator.state = state["rng_state"]
+        self._fired = set(int(i) for i in state["fired"])
+
+    def mark_resumed(self, round_t: int) -> None:
+        """Suppress crash specs at or before ``round_t`` after a resume.
+
+        A crash at round ``K`` leaves a checkpoint from round ``K−1``
+        whose injector state predates the crash; without this, resuming
+        at round ``K`` would immediately crash again.
+        """
+        for index, spec in enumerate(self.plan.faults):
+            if spec.kind == "crash_server" and spec.round_start <= round_t:
+                self._fired.add(index)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _roll(self, spec: FaultSpec) -> bool:
+        if spec.probability >= 1.0:
+            return True
+        return bool(self.rng.random() < spec.probability)
+
+    def _emit(self, spec: FaultSpec, round_t: int, participant: Optional[int]) -> None:
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
+        telemetry.count("faults.injected")
+        telemetry.count(f"faults.{spec.kind}")
+        telemetry.emit(
+            "fault.injected", kind=spec.kind, round=round_t, participant=participant
+        )
+
+    @staticmethod
+    def _corrupt(spec: FaultSpec, update):
+        damaged = copy.deepcopy(update)
+        gradients = damaged.gradients
+        if spec.kind in ("corrupt_nan", "corrupt_inf"):
+            poison = np.nan if spec.kind == "corrupt_nan" else np.inf
+            for grad in gradients.values():
+                if grad.size:
+                    grad.reshape(-1)[0] = poison
+        elif spec.kind == "corrupt_shape":
+            for name in sorted(gradients):
+                grad = gradients[name]
+                if grad.ndim >= 1 and grad.size > 1:
+                    gradients[name] = grad.reshape(-1)[:-1].copy()
+                    break
+        elif spec.kind == "corrupt_norm":
+            for name, grad in gradients.items():
+                gradients[name] = grad * spec.scale
+        return damaged

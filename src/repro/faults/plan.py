@@ -1,0 +1,223 @@
+"""Declarative fault plans: what to break, when, and how often.
+
+A :class:`FaultPlan` is a seed plus an ordered list of
+:class:`FaultSpec` entries.  Each spec names one fault *kind*, the
+rounds it is active in (half-open ``[round_start, round_end)``), an
+optional target participant, and a trigger probability.  Plans are plain
+JSON — shareable between a failing run, its bug report, and the
+regression test that reproduces it::
+
+    {
+      "seed": 7,
+      "faults": [
+        {"kind": "corrupt_nan", "participant": 1, "round_start": 2},
+        {"kind": "drop_update", "probability": 0.2},
+        {"kind": "crash_server", "round_start": 5}
+      ]
+    }
+
+Fault kinds
+-----------
+
+``corrupt_nan`` / ``corrupt_inf``
+    Poison every gradient array of the participant's update with a
+    non-finite entry (what a device-side numeric blow-up looks like on
+    the wire).
+``corrupt_shape``
+    Flatten one gradient array so its shape no longer matches the
+    parameter it claims to be for (a malformed or mismatched payload).
+``corrupt_norm``
+    Multiply every gradient by ``scale`` (default ``1e6``) — an exploded
+    but still-finite update that only a norm check can catch.
+``drop_update``
+    The reply is lost in transit: it never reaches the server.
+``duplicate_update``
+    The reply arrives twice (a retransmission bug).
+``offline``
+    The participant is unreachable for the round (availability flap),
+    feeding the existing soft-synchronisation path.
+``crash_server``
+    Kill the server process at the *start* of round ``round_start`` by
+    raising :class:`InjectedServerCrash` — before any round-``K`` state
+    or RNG is touched, so a checkpoint from round ``K−1`` resumes
+    bit-identically.  Fires at most once; ``probability`` is ignored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "InjectedServerCrash"]
+
+#: Every fault kind a plan may request (see the module docstring).
+FAULT_KINDS = (
+    "corrupt_nan",
+    "corrupt_inf",
+    "corrupt_shape",
+    "corrupt_norm",
+    "drop_update",
+    "duplicate_update",
+    "offline",
+    "crash_server",
+)
+
+
+class InjectedServerCrash(RuntimeError):
+    """Raised by the injector to simulate the server process dying.
+
+    Deliberately *not* caught by the server or pipeline round loops —
+    it propagates like a real crash would, and only the checkpoint on
+    disk survives.  The CLI maps it to exit code 3.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault: kind + activation window + target + trigger chance."""
+
+    kind: str
+    #: target participant id; ``None`` targets every participant
+    participant: Optional[int] = None
+    #: first round the fault is active in (for ``crash_server``: the
+    #: exact round the crash fires at)
+    round_start: int = 0
+    #: first round the fault is *no longer* active in; ``None`` = forever
+    round_end: Optional[int] = None
+    #: chance the fault triggers per opportunity (drawn from the plan's
+    #: seeded injector RNG, so runs repeat exactly)
+    probability: float = 1.0
+    #: gradient multiplier for ``corrupt_norm``
+    scale: float = 1e6
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.participant is not None and self.participant < 0:
+            raise ValueError(
+                f"participant must be >= 0 or null, got {self.participant}"
+            )
+        if self.round_start < 0:
+            raise ValueError(f"round_start must be >= 0, got {self.round_start}")
+        if self.round_end is not None and self.round_end <= self.round_start:
+            raise ValueError(
+                f"round_end ({self.round_end}) must be > round_start "
+                f"({self.round_start})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def active(self, round_t: int, participant: Optional[int] = None) -> bool:
+        """Is this spec live at ``round_t`` for ``participant``?"""
+        if round_t < self.round_start:
+            return False
+        if self.round_end is not None and round_t >= self.round_end:
+            return False
+        if (
+            self.participant is not None
+            and participant is not None
+            and self.participant != participant
+        ):
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"kind": self.kind}
+        if self.participant is not None:
+            data["participant"] = self.participant
+        if self.round_start:
+            data["round_start"] = self.round_start
+        if self.round_end is not None:
+            data["round_end"] = self.round_end
+        if self.probability != 1.0:
+            data["probability"] = self.probability
+        if self.kind == "corrupt_norm":
+            data["scale"] = self.scale
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise ValueError(f"fault spec must be an object, got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(FaultSpec)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault spec key(s): {', '.join(unknown)}; "
+                f"valid keys: {', '.join(sorted(known))}"
+            )
+        if "kind" not in data:
+            raise ValueError("fault spec requires a 'kind'")
+        return FaultSpec(**data)  # type: ignore[arg-type]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered list of faults — the whole chaos schedule.
+
+    The seed drives the injector's private RNG (probability rolls), so
+    the same plan against the same experiment seed reproduces the same
+    faults, round for round.
+    """
+
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - {"seed", "faults"})
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan key(s): {', '.join(unknown)}; "
+                "valid keys: faults, seed"
+            )
+        seed = data.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ValueError(f"fault plan seed must be an int, got {seed!r}")
+        raw_faults = data.get("faults", [])
+        if not isinstance(raw_faults, list):
+            raise ValueError("fault plan 'faults' must be a list")
+        faults = tuple(FaultSpec.from_dict(spec) for spec in raw_faults)
+        return FaultPlan(seed=seed, faults=faults)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid fault plan JSON: {exc}") from exc
+        return FaultPlan.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "FaultPlan":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ValueError(f"cannot read fault plan: {exc}") from exc
+        return FaultPlan.from_json(text)
+
+    def crash_rounds(self) -> List[int]:
+        """Rounds at which ``crash_server`` specs fire."""
+        return [f.round_start for f in self.faults if f.kind == "crash_server"]

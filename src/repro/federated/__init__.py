@@ -22,6 +22,7 @@ from .participant import (
     run_local_step,
 )
 from .server import FederatedSearchServer, RoundResult, SearchServerConfig
+from .validation import QuarantineTracker, UpdateValidator
 from .synchronization import (
     DistributionDelay,
     HardSync,
@@ -52,6 +53,8 @@ __all__ = [
     "FederatedSearchServer",
     "RoundResult",
     "SearchServerConfig",
+    "QuarantineTracker",
+    "UpdateValidator",
     "DistributionDelay",
     "HardSync",
     "LatencyDrivenDelay",

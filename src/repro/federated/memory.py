@@ -67,6 +67,14 @@ class MemoryPools:
     def has_round(self, round_t: int) -> bool:
         return round_t in self._theta
 
+    def rounds(self) -> list:
+        """Rounds currently held, ascending (checkpoint serialization)."""
+        return sorted(self._theta)
+
+    def masks_for(self, round_t: int) -> Dict[int, ArchitectureMask]:
+        """Participant → mask map for ``round_t`` (may be empty)."""
+        return dict(self._masks.get(round_t, {}))
+
     # ------------------------------------------------------------------
     # Eviction (Alg. 1 lines 34-35)
     # ------------------------------------------------------------------

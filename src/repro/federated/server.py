@@ -44,6 +44,7 @@ from .executor import ExecutionBackend, SerialBackend
 from .memory import MemoryPools
 from .participant import LocalStepTask, Participant, ParticipantUpdate
 from .synchronization import HardSync
+from .validation import QuarantineTracker, UpdateValidator
 
 __all__ = ["SearchServerConfig", "RoundResult", "FederatedSearchServer"]
 
@@ -72,6 +73,17 @@ class SearchServerConfig:
     #: supernet (keeps eval-mode evaluation of sampled architectures
     #: meaningful during the search)
     aggregate_bn_stats: bool = True
+    #: validate every arriving update (finiteness, shapes, norm) before
+    #: it can touch ``θ``/``α``; see :mod:`repro.federated.validation`
+    validate_updates: bool = True
+    #: reject updates whose global gradient L2 norm exceeds this (0 = off)
+    update_norm_limit: float = 1e4
+    #: rejections before a participant is quarantined
+    strike_limit: int = 3
+    #: base quarantine length in rounds (doubles per repeat offence)
+    quarantine_rounds: int = 4
+    #: quarantine-length multiplier per repeat offence
+    quarantine_backoff: float = 2.0
 
     def __post_init__(self) -> None:
         if self.staleness_policy not in STALENESS_POLICIES:
@@ -81,6 +93,20 @@ class SearchServerConfig:
             )
         if self.compensation_lambda < 0:
             raise ValueError("compensation_lambda must be non-negative")
+        if self.update_norm_limit < 0:
+            raise ValueError(
+                f"update_norm_limit must be >= 0, got {self.update_norm_limit}"
+            )
+        if self.strike_limit < 1:
+            raise ValueError(f"strike_limit must be >= 1, got {self.strike_limit}")
+        if self.quarantine_rounds < 1:
+            raise ValueError(
+                f"quarantine_rounds must be >= 1, got {self.quarantine_rounds}"
+            )
+        if self.quarantine_backoff < 1.0:
+            raise ValueError(
+                f"quarantine_backoff must be >= 1, got {self.quarantine_backoff}"
+            )
 
 
 @dataclasses.dataclass
@@ -98,8 +124,11 @@ class RoundResult:
     policy_entropy: float
     #: dispersion of participant rewards this round (the Fig. 12 error bars)
     reward_std: float = float("nan")
-    #: participants unreachable this round (availability model)
+    #: participants unreachable this round (availability model,
+    #: quarantine, or injected flaps)
     num_offline: int = 0
+    #: arrivals rejected by the validation boundary this round
+    num_rejected: int = 0
 
 
 @dataclasses.dataclass
@@ -123,6 +152,7 @@ class FederatedSearchServer:
         rng: Optional[np.random.Generator] = None,
         telemetry: Optional[Telemetry] = None,
         backend: Optional[ExecutionBackend] = None,
+        fault_injector=None,
     ):
         if not participants:
             raise ValueError("at least one participant required")
@@ -144,6 +174,27 @@ class FederatedSearchServer:
         #: them serially, on a process pool, or (eventually) on a wire.
         self.backend: ExecutionBackend = backend or SerialBackend(
             self.participants, supernet.config, telemetry=self.telemetry
+        )
+        #: optional :class:`repro.faults.FaultInjector` (duck-typed so the
+        #: federated layer never imports the faults package); consulted at
+        #: round start (crash), online sampling (flap), and reply
+        #: collection (corrupt/drop/duplicate).
+        self.fault_injector = fault_injector
+        #: the trust boundary: arriving updates are validated before they
+        #: can touch ``θ``/``α``, and repeat offenders are quarantined.
+        self.validator: Optional[UpdateValidator] = (
+            UpdateValidator(
+                {name: p.data.shape for name, p in supernet.named_parameters()},
+                norm_limit=self.config.update_norm_limit,
+            )
+            if self.config.validate_updates
+            else None
+        )
+        self.quarantine = QuarantineTracker(
+            strike_limit=self.config.strike_limit,
+            quarantine_rounds=self.config.quarantine_rounds,
+            backoff=self.config.quarantine_backoff,
+            telemetry=self.telemetry,
         )
 
         self.theta_optimizer = nn.SGD(
@@ -179,6 +230,11 @@ class FederatedSearchServer:
 
     def _run_round_inner(self) -> RoundResult:
         t = self.round
+        # Injected crashes fire before any round-t state or RNG draw, so
+        # a checkpoint taken at the end of round t-1 resumes this round
+        # bit-identically.
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_crash(t)
         telemetry = self.telemetry
         telemetry.emit("round_start", round=t, phase=self.phase_label)
         self.pools.save_round(t, self._theta_state(), self.policy.alpha)
@@ -235,17 +291,26 @@ class FederatedSearchServer:
                             error=result.error,
                         )
                     continue
-                self._pending.append(
-                    _PendingUpdate(
-                        origin_round=t,
-                        delivery_round=-1,
-                        mask=tasks[slot].mask,
-                        update=result.update,
+                # The injector damages replies here — after the backend
+                # returned them (backend-agnostic, deterministic) and
+                # before they enter the pending queue.
+                updates = [result.update]
+                if self.fault_injector is not None:
+                    updates = self.fault_injector.transform_update(
+                        t, online[slot], result.update
                     )
-                )
-                delivered_sizes.append(sizes[assignment[slot]])
-                delivered_indices.append(online[slot])
-                compute_times.append(result.update.compute_time_s)
+                for update in updates:
+                    self._pending.append(
+                        _PendingUpdate(
+                            origin_round=t,
+                            delivery_round=-1,
+                            mask=tasks[slot].mask,
+                            update=update,
+                        )
+                    )
+                    delivered_sizes.append(sizes[assignment[slot]])
+                    delivered_indices.append(online[slot])
+                    compute_times.append(update.compute_time_s)
 
             if delivered_indices:
                 delays = self.delay_model.delays(
@@ -285,6 +350,7 @@ class FederatedSearchServer:
                 num_fresh=result.num_fresh,
                 num_stale_used=result.num_stale_used,
                 num_dropped=result.num_dropped,
+                num_rejected=result.num_rejected,
                 num_offline=num_offline,
                 duration_s=round_duration,
                 max_latency_s=max_latency,
@@ -298,9 +364,20 @@ class FederatedSearchServer:
         connection with the server"): each participant is online with its
         configured availability.  With soft synchronisation the search
         proceeds regardless; a blocking implementation would hang here.
+
+        Quarantined participants and injected availability flaps are
+        treated exactly like natural disconnects: the participant simply
+        isn't dispatched to and counts toward ``num_offline``.
         """
         online = []
+        t = self.round
         for k, participant in enumerate(self.participants):
+            if self.quarantine.is_quarantined(k, t):
+                continue
+            if self.fault_injector is not None and self.fault_injector.force_offline(
+                t, k
+            ):
+                continue
             if participant.availability >= 1.0 or self.rng.random() < participant.availability:
                 online.append(k)
         return online
@@ -359,12 +436,35 @@ class FederatedSearchServer:
         grad_sum: Dict[str, np.ndarray] = {}
         used_updates: List[ParticipantUpdate] = []
         rewards: List[float] = []
-        num_fresh = num_stale = num_dropped = 0
+        num_fresh = num_stale = num_dropped = num_rejected = 0
         used = 0
 
         telemetry = self.telemetry
         for item in arrivals:
             tau = t - item.origin_round
+            # The trust boundary (validation before anything touches
+            # θ/α): garbage earns a strike even when it arrived stale.
+            reason = (
+                self.validator.validate(item.update)
+                if self.validator is not None
+                else None
+            )
+            if reason is not None:
+                num_rejected += 1
+                outcome = "rejected"
+                self.quarantine.record_rejection(item.update.participant_id, t)
+                if telemetry.enabled:
+                    telemetry.count("updates.rejected")
+                    telemetry.count(f"updates.rejected.{reason}")
+                    telemetry.emit(
+                        "update.rejected",
+                        round=t,
+                        origin_round=item.origin_round,
+                        participant=item.update.participant_id,
+                        staleness=tau,
+                        reason=reason,
+                    )
+                continue
             if tau == 0:
                 self._accumulate_fresh(item, estimator, grad_sum)
                 rewards.append(item.update.reward)
@@ -391,6 +491,8 @@ class FederatedSearchServer:
                     if self.config.staleness_policy == "use"
                     else "stale_compensated"
                 )
+            if outcome != "dropped":
+                self.quarantine.record_accepted(item.update.participant_id)
             if telemetry.enabled:
                 telemetry.count(f"updates.{'stale_used' if outcome.startswith('stale') else outcome}")
                 telemetry.observe("update.staleness", tau)
@@ -404,6 +506,19 @@ class FederatedSearchServer:
                     reward=item.update.reward,
                 )
 
+        if arrivals and used == 0:
+            # Every arrival this round was rejected or dropped: skip the
+            # θ/α steps entirely (an all-garbage round must not move the
+            # model) and flag the round as degraded.
+            if telemetry.enabled:
+                telemetry.count("rounds.degraded")
+            telemetry.emit(
+                "round.degraded",
+                round=t,
+                num_arrivals=len(arrivals),
+                num_rejected=num_rejected,
+                num_dropped=num_dropped,
+            )
         if used and self.config.update_theta:
             self._step_theta(grad_sum, used)
         if used and self.config.aggregate_bn_stats:
@@ -438,6 +553,7 @@ class FederatedSearchServer:
             policy_entropy=self.policy.entropy(),
             reward_std=reward_std,
             num_offline=num_offline,
+            num_rejected=num_rejected,
         )
 
     def _accumulate_fresh(
@@ -553,7 +669,14 @@ class FederatedSearchServer:
 
     def _step_theta(self, grad_sum: Dict[str, np.ndarray], count: int) -> None:
         """Average accumulated gradients (zeros for unsampled ops), clip,
-        and step the supernet optimizer."""
+        and step the supernet optimizer.
+
+        A zero-update round (every arrival rejected or dropped) is a
+        no-op: stepping would divide by zero and apply pure weight decay
+        where the round produced no information.
+        """
+        if count == 0:
+            return
         self.theta_optimizer.zero_grad()
         for name, param in self.supernet.named_parameters():
             if name in grad_sum:

@@ -109,7 +109,8 @@ class TestSearchStateCheckpoint:
         result = restored.run_round()
         assert result.round_index == 3
 
-    def test_pending_updates_not_restored(self, tmp_path):
+    def test_pending_updates_restored(self, tmp_path):
+        """In-flight straggler updates survive the checkpoint in full."""
         from repro.federated import DistributionDelay
 
         server = make_server(seed=3)
@@ -121,8 +122,124 @@ class TestSearchStateCheckpoint:
         path = tmp_path / "search.ckpt"
         save_search_state(server, path)
         restored = make_server(seed=3)
+        restored.delay_model = DistributionDelay(
+            [0.2, 0.8], staleness_threshold=2, rng=np.random.default_rng(99)
+        )
         restore_search_state(restored, path)
-        assert restored._pending == []
+        assert len(restored._pending) == len(server._pending)
+        for got, want in zip(restored._pending, server._pending):
+            assert got.origin_round == want.origin_round
+            assert got.delivery_round == want.delivery_round
+            assert got.mask == want.mask
+            assert got.update.participant_id == want.update.participant_id
+            assert got.update.reward == want.update.reward
+            assert got.update.num_samples == want.update.num_samples
+            assert set(got.update.gradients) == set(want.update.gradients)
+            for name in want.update.gradients:
+                np.testing.assert_array_equal(
+                    got.update.gradients[name], want.update.gradients[name]
+                )
+            for name in want.update.buffers:
+                np.testing.assert_array_equal(
+                    got.update.buffers[name], want.update.buffers[name]
+                )
+
+    def test_rng_streams_restored(self, tmp_path):
+        """Server, policy, participant, and delay-model RNGs all resume
+        at the exact state they were saved in."""
+        from repro.federated import DistributionDelay
+
+        server = make_server(seed=3)
+        server.delay_model = DistributionDelay(
+            [0.5, 0.5], staleness_threshold=2, rng=np.random.default_rng(7)
+        )
+        server.run(3)
+        path = tmp_path / "search.ckpt"
+        save_search_state(server, path)
+        restored = make_server(seed=42)
+        restored.delay_model = DistributionDelay(
+            [0.5, 0.5], staleness_threshold=2, rng=np.random.default_rng(0)
+        )
+        restore_search_state(restored, path)
+        assert restored.rng.bit_generator.state == server.rng.bit_generator.state
+        assert (
+            restored.policy.rng.bit_generator.state
+            == server.policy.rng.bit_generator.state
+        )
+        for got, want in zip(restored.participants, server.participants):
+            assert got.rng.bit_generator.state == want.rng.bit_generator.state
+        assert (
+            restored.delay_model.rng.bit_generator.state
+            == server.delay_model.rng.bit_generator.state
+        )
+
+    def test_delay_model_mismatch_rejected(self, tmp_path):
+        """A checkpoint saved with a seeded delay model cannot be
+        restored onto a server without one (the RNG stream would fork)."""
+        from repro.federated import DistributionDelay
+
+        server = make_server(seed=3)
+        server.delay_model = DistributionDelay(
+            [0.5, 0.5], staleness_threshold=2, rng=np.random.default_rng(7)
+        )
+        server.run(1)
+        path = tmp_path / "search.ckpt"
+        save_search_state(server, path)
+        with pytest.raises(ValueError, match="delay"):
+            restore_search_state(make_server(seed=3), path)
+
+    def test_extra_payload_roundtrip(self, tmp_path):
+        from repro.checkpoint import read_checkpoint_meta
+
+        server = make_server()
+        server.run(1)
+        path = tmp_path / "search.ckpt"
+        extra = {"config": {"seed": 1}, "note": "hello"}
+        save_search_state(server, path, extra=extra)
+        assert read_checkpoint_meta(path)["extra"] == extra
+        restored = make_server()
+        assert restore_search_state(restored, path) == extra
+
+    def test_quarantine_state_restored(self, tmp_path):
+        server = make_server(seed=3)
+        server.run(1)
+        for _ in range(server.config.strike_limit):
+            server.quarantine.record_rejection(1, server.round)
+        assert server.quarantine.num_quarantined == 1
+        path = tmp_path / "search.ckpt"
+        save_search_state(server, path)
+        restored = make_server(seed=3)
+        restore_search_state(restored, path)
+        assert restored.quarantine.state_dict() == server.quarantine.state_dict()
+        assert restored.quarantine.num_quarantined == 1
+
+    def test_failed_save_keeps_previous_checkpoint(self, tmp_path, monkeypatch):
+        """The write is atomic: a crash mid-save can't clobber the last
+        good checkpoint, and no temp file is left behind."""
+        import repro.checkpoint as checkpoint_module
+
+        server = make_server(seed=3)
+        server.run(2)
+        path = tmp_path / "search.ckpt"
+        save_search_state(server, path)
+        good = path.read_bytes()
+
+        server.run(1)
+        original = checkpoint_module._arrays_to_bytes
+
+        def explode(arrays):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(checkpoint_module, "_arrays_to_bytes", explode)
+        with pytest.raises(RuntimeError, match="disk full"):
+            save_search_state(server, path)
+        monkeypatch.setattr(checkpoint_module, "_arrays_to_bytes", original)
+
+        assert path.read_bytes() == good  # previous checkpoint intact
+        assert list(tmp_path.glob("*.tmp")) == []
+        restored = make_server(seed=3)
+        restore_search_state(restored, path)
+        assert restored.round == 2
 
     def test_version_check(self, tmp_path):
         import json

@@ -76,6 +76,30 @@ class TestArgumentParsing:
         assert config.backend == "serial"
         assert config.num_workers == 0
 
+    def test_fault_and_checkpoint_flags(self):
+        config = self.parse(
+            [
+                "--faults", "plan.json",
+                "--checkpoint", "run.ckpt",
+                "--checkpoint-every", "5",
+                "--no-validation",
+            ]
+        )
+        assert config.fault_plan_path == "plan.json"
+        assert config.checkpoint_path == "run.ckpt"
+        assert config.checkpoint_every == 5
+        assert not config.validate_updates
+
+    def test_checkpoint_every_requires_path(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            self.parse(["--checkpoint-every", "5"])
+
+    def test_robustness_defaults(self):
+        config = self.parse([])
+        assert config.validate_updates
+        assert config.fault_plan_path is None
+        assert config.checkpoint_every == 0
+
 
 class TestSubcommands:
     def test_run_subcommand_parses(self):
@@ -198,3 +222,41 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "backend=process" in out
         assert "test accuracy" in out
+
+    def test_injected_crash_exits_3_then_resume_completes(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {"seed": 0, "faults": [{"kind": "crash_server", "round_start": 2}]}
+            ),
+            encoding="utf-8",
+        )
+        ckpt = tmp_path / "run.ckpt"
+        code = main(
+            [
+                "run",
+                "--participants", "2",
+                "--warmup-rounds", "1",
+                "--search-rounds", "3",
+                "--seed", "1",
+                "--faults", str(plan),
+                "--checkpoint", str(ckpt),
+                "--checkpoint-every", "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "forced a server crash at round 2" in captured.err
+        assert "--resume" in captured.err
+        assert ckpt.exists()
+
+        code = main(["run", "--resume", str(ckpt)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "resumed from" in captured.out
+        assert "test accuracy" in captured.out
+
+    def test_resume_with_bogus_path_exits_2(self, tmp_path, capsys):
+        code = main(["run", "--resume", str(tmp_path / "nope.ckpt")])
+        assert code == 2
+        assert "cannot resume" in capsys.readouterr().err

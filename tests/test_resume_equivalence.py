@@ -1,0 +1,227 @@
+"""Kill/resume equivalence: a checkpointed-and-resumed run must be
+bit-identical to one that never stopped.
+
+Covers both halves of the contract:
+
+* server level — N rounds + checkpoint + rebuild + restore + N more
+  rounds equals 2N uninterrupted rounds, under the serial AND the
+  process-pool execution backends, with stragglers in flight;
+* pipeline level — a run killed by an injected ``crash_server`` fault
+  and resumed from its last checkpoint produces a bit-identical
+  :class:`~repro.core.SearchReport` (genotype, accuracy, every curve).
+
+NaN caveat: idle rounds record ``mean_reward``/``reward_std`` as NaN,
+and ``NaN != NaN`` makes dataclass equality useless — comparisons here
+go through ``repr`` (round results) and ``assert_array_equal`` (curves),
+both of which treat NaN as equal to itself.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import restore_search_state, save_search_state
+from repro.controller import ArchitecturePolicy
+from repro.core import ExperimentConfig, FederatedModelSearch
+from repro.data import iid_partition, synth_cifar10
+from repro.faults import FaultPlan, FaultSpec, InjectedServerCrash
+from repro.federated import (
+    DistributionDelay,
+    FederatedSearchServer,
+    Participant,
+    build_backend,
+)
+from repro.search_space import Supernet, SupernetConfig
+
+TINY = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+def make_server(backend_name="serial", seed=0):
+    train, _ = synth_cifar10(seed=1, train_per_class=10, test_per_class=2, image_size=8)
+    shards = iid_partition(train, 3, rng=np.random.default_rng(0))
+    supernet = Supernet(TINY, rng=np.random.default_rng(seed + 1))
+    policy = ArchitecturePolicy(TINY.num_edges, rng=np.random.default_rng(seed + 2))
+    participants = [
+        Participant(k, s, batch_size=8, rng=np.random.default_rng(seed + 10 + k))
+        for k, s in enumerate(shards)
+    ]
+    backend = build_backend(backend_name, participants, TINY, num_workers=2)
+    return FederatedSearchServer(
+        supernet,
+        policy,
+        participants,
+        delay_model=DistributionDelay(
+            [0.6, 0.4], staleness_threshold=2, rng=np.random.default_rng(seed + 3)
+        ),
+        rng=np.random.default_rng(seed + 4),
+        backend=backend,
+    )
+
+
+def assert_rounds_equal(a, b):
+    assert repr(a) == repr(b)
+
+
+def assert_reports_equal(a, b):
+    assert a.genotype == b.genotype
+    assert a.test_accuracy == b.test_accuracy
+    assert a.model_parameters == b.model_parameters
+    assert a.mean_submodel_bytes == b.mean_submodel_bytes
+    assert a.simulated_search_time_s == b.simulated_search_time_s
+    assert_rounds_equal(a.warmup_results, b.warmup_results)
+    assert_rounds_equal(a.search_results, b.search_results)
+    assert set(a.search_recorder.series) == set(b.search_recorder.series)
+    for name, values in a.search_recorder.series.items():
+        np.testing.assert_array_equal(
+            values, b.search_recorder.series[name], err_msg=name
+        )
+    for name, values in a.retrain_recorder.series.items():
+        np.testing.assert_array_equal(
+            values, b.retrain_recorder.series[name], err_msg=name
+        )
+
+
+@pytest.mark.parametrize("backend_name", ["serial", "process"])
+class TestServerKillResume:
+    def test_resume_matches_uninterrupted(self, tmp_path, backend_name):
+        uninterrupted = make_server(backend_name)
+        try:
+            reference = uninterrupted.run(6)
+        finally:
+            uninterrupted.backend.close()
+
+        first = make_server(backend_name)
+        try:
+            head = first.run(3)
+            path = tmp_path / "mid.ckpt"
+            save_search_state(first, path)
+        finally:
+            first.backend.close()
+
+        second = make_server(backend_name)
+        try:
+            restore_search_state(second, path)
+            tail = second.run(3)
+        finally:
+            second.backend.close()
+
+        assert_rounds_equal(head + tail, reference)
+        np.testing.assert_array_equal(
+            second.policy.alpha, uninterrupted.policy.alpha
+        )
+        for (name, p_a), (_, p_b) in zip(
+            uninterrupted.supernet.named_parameters(),
+            second.supernet.named_parameters(),
+        ):
+            np.testing.assert_array_equal(p_a.data, p_b.data, err_msg=name)
+        assert second.clock_s == uninterrupted.clock_s
+        assert (
+            second.rng.bit_generator.state
+            == uninterrupted.rng.bit_generator.state
+        )
+
+
+def tiny_config(**overrides):
+    base = dict(
+        num_participants=3,
+        train_per_class=6,
+        test_per_class=2,
+        warmup_rounds=2,
+        search_rounds=4,
+        retrain_epochs=1,
+        fl_retrain_rounds=2,
+        batch_size=8,
+        seed=9,
+        staleness_mix=(0.7, 0.3),
+    )
+    base.update(overrides)
+    return ExperimentConfig.small(**base)
+
+
+class TestPipelineCrashResume:
+    def test_crashed_run_resumes_bit_identically(self, tmp_path):
+        reference_pipeline = FederatedModelSearch(tiny_config())
+        try:
+            reference = reference_pipeline.run()
+        finally:
+            reference_pipeline.close()
+
+        plan_path = tmp_path / "plan.json"
+        # round 4 = midway through the search phase (after 2 warm-up rounds)
+        FaultPlan(faults=(FaultSpec(kind="crash_server", round_start=4),)).save(
+            plan_path
+        )
+        ckpt = tmp_path / "run.ckpt"
+        crashing = FederatedModelSearch(
+            tiny_config(
+                fault_plan_path=str(plan_path),
+                checkpoint_every=1,
+                checkpoint_path=str(ckpt),
+            )
+        )
+        try:
+            with pytest.raises(InjectedServerCrash):
+                crashing.run()
+        finally:
+            crashing.close()
+        assert ckpt.exists()
+
+        resumed = FederatedModelSearch.resume(str(ckpt))
+        assert resumed.server.round == 4
+        try:
+            report = resumed.run()
+        finally:
+            resumed.close()
+        assert_reports_equal(report, reference)
+
+    def test_resume_restores_progress(self, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        pipeline = FederatedModelSearch(
+            tiny_config(checkpoint_every=1, checkpoint_path=str(ckpt))
+        )
+        try:
+            pipeline.warm_up()
+        finally:
+            pipeline.close()
+
+        resumed = FederatedModelSearch.resume(str(ckpt))
+        try:
+            assert len(resumed._completed["warmup"]) == 2
+            assert resumed._completed["search"] == []
+            # warm-up already done: calling it again runs nothing new
+            results = resumed.warm_up()
+            assert [r.round_index for r in results] == [0, 1]
+            assert resumed.server.round == 2
+        finally:
+            resumed.close()
+
+    def test_resume_rejects_bare_server_checkpoint(self, tmp_path):
+        pipeline = FederatedModelSearch(tiny_config())
+        try:
+            pipeline.server.run(1)
+            path = tmp_path / "bare.ckpt"
+            save_search_state(pipeline.server, path)  # no pipeline extra
+        finally:
+            pipeline.close()
+        with pytest.raises(ValueError, match="no embedded config"):
+            FederatedModelSearch.resume(str(path))
+
+    def test_round_results_carry_rejection_fields(self, tmp_path):
+        """RoundResult survives the JSON progress roundtrip field-for-field."""
+        ckpt = tmp_path / "run.ckpt"
+        pipeline = FederatedModelSearch(
+            tiny_config(checkpoint_every=1, checkpoint_path=str(ckpt))
+        )
+        try:
+            results = pipeline.warm_up()
+        finally:
+            pipeline.close()
+        resumed = FederatedModelSearch.resume(str(ckpt))
+        try:
+            restored = resumed._completed["warmup"]
+            for got, want in zip(restored, results):
+                assert dataclasses.asdict(got).keys() == dataclasses.asdict(want).keys()
+                assert repr(got) == repr(want)
+        finally:
+            resumed.close()
