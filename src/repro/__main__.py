@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Two subcommands:
+Three subcommands:
 
 ``repro run``
     Runs the four-phase federated model-search pipeline::
@@ -26,7 +26,21 @@ Two subcommands:
 ``repro trace``
     Summarizes a JSONL telemetry run log produced via
     ``repro run --telemetry-log run.jsonl`` (per-phase time breakdown,
-    staleness histogram, slowest participants, per-round table).
+    staleness histogram, slowest participants, per-round table, wire
+    traffic).
+
+``repro serve``
+    Runs a participant worker daemon that executes local steps shipped
+    over TCP by ``repro run --backend socket``::
+
+        python -m repro serve --host 127.0.0.1 --port 7000
+
+    ``--port 0`` picks a free port; the daemon announces
+    ``REPRO-WORKER-READY <host> <port>`` on stdout once listening.
+    Point a search at explicit daemons with
+    ``--backend socket --socket-workers 127.0.0.1:7000 127.0.0.1:7001``;
+    without ``--socket-workers`` the backend spawns local daemons
+    itself.
 
 Invoking ``python -m repro --dataset ...`` without a subcommand still
 works as an alias for ``repro run`` but is deprecated.
@@ -76,19 +90,44 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPars
     )
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
-        "--backend", choices=("serial", "process"), default=None,
+        "--backend", choices=("serial", "process", "socket"), default=None,
         help="execution engine for participant local steps "
         "(default: $REPRO_BACKEND or serial); seeded results are "
         "bit-identical across backends",
     )
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="worker processes for --backend process "
+        help="worker processes/daemons for --backend process|socket "
         "(default: min(participants, cpu count))",
+    )
+    parser.add_argument(
+        "--socket-workers", nargs="+", default=None, metavar="HOST:PORT",
+        help="connect --backend socket to these already-running "
+        "'repro serve' daemons instead of spawning local ones",
     )
     parser.add_argument(
         "--task-timeout", type=float, default=None, metavar="SECONDS",
         help="per-task deadline before retry / offline fallback",
+    )
+    parser.add_argument(
+        "--task-retries", type=int, default=None, metavar="N",
+        help="retries per failed task, each on a different worker "
+        "when possible (default: 1)",
+    )
+    parser.add_argument(
+        "--wire-compression", choices=("none", "zlib"), default=None,
+        help="payload compression for --backend socket (default: none)",
+    )
+    parser.add_argument(
+        "--wire-dtype", choices=("float16", "float32", "float64"),
+        default=None,
+        help="wire precision for --backend socket tensors; float64 is "
+        "lossless and preserves bit-identical results (default: float64)",
+    )
+    parser.add_argument(
+        "--measure-wire", action="store_true",
+        help="measure exact on-wire payload sizes each round and report "
+        "them through telemetry (alongside the analytic Fig. 7 estimate)",
     )
     parser.add_argument(
         "--telemetry-log", default=None, metavar="PATH",
@@ -142,6 +181,23 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
     return parser
 
 
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to listen on (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="TCP port to listen on; 0 picks a free port (default: 0)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with no server connection "
+        "(default: run until shut down)",
+    )
+    return parser
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro run`` argument parser (also the deprecation-shim parser)."""
     return _add_run_arguments(
@@ -168,7 +224,7 @@ def build_main_parser() -> argparse.ArgumentParser:
         description="Federated model search via reinforcement learning "
         "(ICDCS 2021 reproduction)",
     )
-    sub = parser.add_subparsers(dest="command", metavar="{run,trace}")
+    sub = parser.add_subparsers(dest="command", metavar="{run,trace,serve}")
     _add_run_arguments(
         sub.add_parser(
             "run",
@@ -181,6 +237,14 @@ def build_main_parser() -> argparse.ArgumentParser:
             "trace",
             help="summarize a JSONL telemetry run log",
             description="Summarize a JSONL telemetry run log",
+        )
+    )
+    _add_serve_arguments(
+        sub.add_parser(
+            "serve",
+            help="run a participant worker daemon for --backend socket",
+            description="Run a participant worker daemon that executes "
+            "local steps shipped over TCP by 'repro run --backend socket'",
         )
     )
     return parser
@@ -218,6 +282,16 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["num_workers"] = args.workers
     if getattr(args, "task_timeout", None) is not None:
         overrides["task_timeout_s"] = args.task_timeout
+    if getattr(args, "task_retries", None) is not None:
+        overrides["task_retries"] = args.task_retries
+    if getattr(args, "socket_workers", None):
+        overrides["socket_workers"] = tuple(args.socket_workers)
+    if getattr(args, "wire_compression", None) is not None:
+        overrides["socket_compression"] = args.wire_compression
+    if getattr(args, "wire_dtype", None) is not None:
+        overrides["socket_wire_dtype"] = args.wire_dtype
+    if getattr(args, "measure_wire", False):
+        overrides["measure_wire_bytes"] = True
     if getattr(args, "telemetry_log", None):
         overrides["telemetry_log_path"] = args.telemetry_log
     if getattr(args, "no_telemetry", False):
@@ -328,11 +402,29 @@ def _trace_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def serve_main(args: argparse.Namespace) -> int:
+    from .transport import serve
+
+    try:
+        serve(host=args.host, port=args.port, idle_timeout_s=args.idle_timeout)
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(f"error: cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] in ("run", "trace"):
+    if argv and argv[0] in ("run", "trace", "serve"):
         args = build_main_parser().parse_args(argv)
-        return _trace_main(args) if args.command == "trace" else run_main(args)
+        if args.command == "trace":
+            return _trace_main(args)
+        if args.command == "serve":
+            return serve_main(args)
+        return run_main(args)
     if argv and argv[0] in ("-h", "--help"):
         build_main_parser().parse_args(argv)
         return 0

@@ -24,7 +24,12 @@ _STALENESS_POLICIES = ("compensate", "use", "throw")
 
 #: Execution backends (mirrors ``repro.federated.executor.BACKENDS``;
 #: kept literal here so the config layer stays import-light).
-_EXECUTION_BACKENDS = ("serial", "process")
+_EXECUTION_BACKENDS = ("serial", "process", "socket")
+
+#: Wire options for the socket backend (mirrors
+#: ``repro.transport.codec.COMPRESSIONS`` / ``repro.nn.WIRE_DTYPES``).
+_SOCKET_COMPRESSIONS = ("none", "zlib")
+_SOCKET_WIRE_DTYPES = ("float16", "float32", "float64")
 
 
 def _default_backend() -> str:
@@ -173,14 +178,35 @@ class ExperimentConfig:
 
     # Execution engine (see :mod:`repro.federated.executor`): which
     # backend runs participant local steps.  ``serial`` is the in-process
-    # reference; ``process`` fans tasks out over a multiprocessing pool.
-    # Seeded results are bit-identical across backends.
+    # reference; ``process`` fans tasks out over a multiprocessing pool;
+    # ``socket`` dispatches over TCP to worker daemons
+    # (:mod:`repro.transport`).  Seeded results are bit-identical across
+    # backends (socket: at the default lossless wire precision).
     backend: str = dataclasses.field(default_factory=_default_backend)
-    #: worker processes for the ``process`` backend; 0 = auto
-    #: (``min(num_participants, cpu_count)``)
+    #: worker processes/daemons for the ``process``/``socket`` backends;
+    #: 0 = auto (``min(num_participants, cpu_count)``)
     num_workers: int = 0
-    #: per-task deadline (queueing + compute) before a retry / offline fallback
+    #: per-task deadline (queueing + compute) before a retry / offline
+    #: fallback — shared policy for every distributed backend
     task_timeout_s: float = 60.0
+    #: re-dispatches after a timeout/crash before a task is declared
+    #: failed and its participant goes offline for the round (the socket
+    #: backend retries on a different replica when one is live)
+    task_retries: int = 1
+
+    # Socket-backend wire options (ignored by other backends).
+    #: worker daemon addresses ("host:port"); None auto-spawns
+    #: ``num_workers`` local daemons
+    socket_workers: Optional[Tuple[str, ...]] = None
+    #: wire compression negotiated at hello: "none" or "zlib"
+    socket_compression: str = "none"
+    #: wire precision negotiated at hello; "float64" is lossless
+    #: (bit-identical runs), "float32"/"float16" trade precision for bytes
+    socket_wire_dtype: str = "float64"
+    #: also measure exact on-wire payload sizes (npz container +
+    #: compression, ``repro.nn.payload_size_bytes``) each round and emit
+    #: them through telemetry next to the analytic Fig. 7 estimates
+    measure_wire_bytes: bool = False
 
     # Telemetry (see :mod:`repro.telemetry`): enabled in-memory by
     # default; set ``telemetry_log_path`` to also stream JSONL events to
@@ -265,6 +291,32 @@ class ExperimentConfig:
             raise ValueError(
                 f"task_timeout_s must be positive, got {self.task_timeout_s}"
             )
+        if self.task_retries < 0:
+            raise ValueError(
+                f"task_retries must be >= 0, got {self.task_retries}"
+            )
+        if self.socket_compression not in _SOCKET_COMPRESSIONS:
+            raise ValueError(
+                f"socket_compression must be one of {_SOCKET_COMPRESSIONS}, "
+                f"got {self.socket_compression!r}"
+            )
+        if self.socket_wire_dtype not in _SOCKET_WIRE_DTYPES:
+            raise ValueError(
+                f"socket_wire_dtype must be one of {_SOCKET_WIRE_DTYPES}, "
+                f"got {self.socket_wire_dtype!r}"
+            )
+        if self.socket_workers is not None:
+            if len(self.socket_workers) == 0:
+                raise ValueError(
+                    "socket_workers must name at least one worker or be null"
+                )
+            for address in self.socket_workers:
+                host, sep, port = address.rpartition(":")
+                if not sep or not host or not port.isdigit():
+                    raise ValueError(
+                        f"socket_workers entry {address!r} must look like "
+                        "'host:port'"
+                    )
         if self.update_norm_limit < 0:
             raise ValueError(
                 f"update_norm_limit must be >= 0, got {self.update_norm_limit}"
@@ -302,7 +354,7 @@ class ExperimentConfig:
         for every constructible config.
         """
         data = dataclasses.asdict(self)
-        for key in ("staleness_mix", "mobility_modes"):
+        for key in ("staleness_mix", "mobility_modes", "socket_workers"):
             if data[key] is not None:
                 data[key] = list(data[key])
         return data

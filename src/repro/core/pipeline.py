@@ -110,7 +110,11 @@ class FederatedModelSearch:
             config.supernet_config(),
             num_workers=config.num_workers or None,
             task_timeout_s=config.task_timeout_s,
+            task_retries=config.task_retries,
             telemetry=self.telemetry,
+            socket_workers=config.socket_workers,
+            socket_compression=config.socket_compression,
+            socket_wire_dtype=config.socket_wire_dtype,
         )
         self.fault_injector: Optional[FaultInjector] = None
         if config.fault_plan_path:
@@ -194,6 +198,9 @@ class FederatedModelSearch:
             staleness_policy=c.staleness_policy,
             compensation_lambda=c.compensation_lambda,
             transmission_strategy=c.transmission_strategy,
+            measure_wire_bytes=c.measure_wire_bytes,
+            wire_dtype=c.socket_wire_dtype,
+            wire_compression=c.socket_compression,
             validate_updates=c.validate_updates,
             update_norm_limit=c.update_norm_limit,
             strike_limit=c.strike_limit,

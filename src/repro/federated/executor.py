@@ -4,7 +4,7 @@ The server round loop produces a list of :class:`~repro.federated.participant.Lo
 messages and hands them to an :class:`ExecutionBackend`; the backend
 returns one :class:`TaskResult` per task, **in task order**, each
 carrying either the participant's :class:`~repro.federated.participant.ParticipantUpdate`
-or a failure record.  Two backends ship:
+or a failure record.  Three backends ship:
 
 * :class:`SerialBackend` — runs every task in-process, in order.  This
   is the default and matches the historical single-process behaviour.
@@ -14,6 +14,9 @@ or a failure record.  Two backends ship:
   timeout and one retry; a worker crash or repeated timeout degrades the
   participant to *offline for that round* (feeding the existing
   soft-synchronisation path) instead of killing the search.
+* :class:`repro.transport.SocketBackend` — the networked runtime: worker
+  daemons (``python -m repro serve``) over TCP with the same failure
+  semantics, built via ``build_backend("socket", ...)``.
 
 Determinism contract: every source of randomness a local step consumes is
 inside the task (``batch_seed``, ``mask``, ``state``), so seeded runs are
@@ -60,8 +63,9 @@ __all__ = [
 ]
 
 #: Names accepted by :func:`build_backend`, ``ExperimentConfig.backend``,
-#: and the CLI ``--backend`` flag.
-BACKENDS = ("serial", "process")
+#: and the CLI ``--backend`` flag.  ``socket`` is the networked runtime
+#: (:mod:`repro.transport`): worker daemons over TCP.
+BACKENDS = ("serial", "process", "socket")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -398,9 +402,19 @@ def build_backend(
     supernet_config: SupernetConfig,
     num_workers: Optional[int] = None,
     task_timeout_s: float = 60.0,
+    task_retries: int = 1,
     telemetry: Optional[Telemetry] = None,
+    socket_workers: Optional[Sequence[str]] = None,
+    socket_compression: str = "none",
+    socket_wire_dtype: str = "float64",
 ) -> ExecutionBackend:
-    """Construct the backend ``name`` ("serial" or "process")."""
+    """Construct the backend ``name`` ("serial", "process", or "socket").
+
+    ``task_timeout_s`` and ``task_retries`` are shared failure-handling
+    policy for every distributed backend (they come straight from
+    ``ExperimentConfig``); the ``socket_*`` arguments only apply to the
+    socket backend (``socket_workers=None`` auto-spawns local daemons).
+    """
     if name == "serial":
         return SerialBackend(participants, supernet_config, telemetry=telemetry)
     if name == "process":
@@ -409,6 +423,23 @@ def build_backend(
             supernet_config,
             num_workers=num_workers,
             task_timeout_s=task_timeout_s,
+            max_retries=task_retries,
+            telemetry=telemetry,
+        )
+    if name == "socket":
+        # Imported lazily: the transport package imports this module for
+        # the task/result types.
+        from repro.transport import SocketBackend
+
+        return SocketBackend(
+            participants,
+            supernet_config,
+            workers=socket_workers,
+            num_workers=num_workers,
+            task_timeout_s=task_timeout_s,
+            max_retries=task_retries,
+            compression=socket_compression,
+            wire_dtype=socket_wire_dtype,
             telemetry=telemetry,
         )
     raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")

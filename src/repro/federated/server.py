@@ -35,7 +35,7 @@ from repro.controller import (
 from repro.controller.policy import softmax_rows
 from repro.evaluation import CurveRecorder
 from repro.network import BandwidthTrace, round_transmission
-from repro.nn import state_size_bytes
+from repro.nn import payload_size_bytes, state_size_bytes
 from repro.search_space import ArchitectureMask, Genotype, Supernet, derive_genotype
 from repro.telemetry import Telemetry
 
@@ -67,6 +67,17 @@ class SearchServerConfig:
     staleness_policy: str = "compensate"
     compensation_lambda: float = 0.5
     transmission_strategy: str = "adaptive"
+    #: also compute the *exact* on-wire size of every dispatched
+    #: sub-model (npz container + compression — what the socket
+    #: transport actually ships) and report measured transmission
+    #: latencies through telemetry, next to the analytic Fig. 7 numbers.
+    #: Purely observational: assignment, delays, and results are
+    #: unchanged.
+    measure_wire_bytes: bool = False
+    #: wire precision/compression the measured sizes assume (matches the
+    #: socket backend's hello-negotiated options)
+    wire_dtype: str = "float64"
+    wire_compression: str = "none"
     update_theta: bool = True
     update_alpha: bool = True
     #: fold participants' batch-norm running statistics back into the
@@ -245,8 +256,10 @@ class FederatedSearchServer:
         round_duration = 0.0
         num_failed = 0
         if online:
-            masks, sizes = self._sample_submodels(len(online))
-            assignment, max_latency, latencies = self._assign(sizes, online)
+            masks, sizes, wire_sizes = self._sample_submodels(len(online))
+            assignment, max_latency, latencies = self._assign(
+                sizes, online, wire_sizes
+            )
 
             tasks: List[LocalStepTask] = []
             for slot, k in enumerate(online):
@@ -395,16 +408,32 @@ class FederatedSearchServer:
     # ------------------------------------------------------------------
     def _sample_submodels(
         self, count: int
-    ) -> Tuple[List[ArchitectureMask], List[float]]:
+    ) -> Tuple[List[ArchitectureMask], List[float], Optional[List[float]]]:
         masks = [self.policy.sample_mask() for _ in range(count)]
-        sizes = [
-            float(state_size_bytes(self.supernet.submodel_state(mask)))
-            for mask in masks
-        ]
-        return masks, sizes
+        states = [self.supernet.submodel_state(mask) for mask in masks]
+        sizes = [float(state_size_bytes(state)) for state in states]
+        wire_sizes = None
+        if self.config.measure_wire_bytes:
+            wire_sizes = [
+                float(
+                    payload_size_bytes(
+                        state,
+                        compressed=self.config.wire_compression == "zlib",
+                        dtype=self.config.wire_dtype,
+                    )
+                )
+                for state in states
+            ]
+            if self.telemetry.enabled:
+                for wire_size in wire_sizes:
+                    self.telemetry.observe("transmission.wire_bytes", wire_size)
+        return masks, sizes, wire_sizes
 
     def _assign(
-        self, sizes: Sequence[float], online: Sequence[int]
+        self,
+        sizes: Sequence[float],
+        online: Sequence[int],
+        wire_sizes: Optional[Sequence[float]] = None,
     ) -> Tuple[np.ndarray, float, Optional[np.ndarray]]:
         traces = [self.participants[k].trace for k in online]
         if any(trace is None for trace in traces):
@@ -415,7 +444,21 @@ class FederatedSearchServer:
             strategy=self.config.transmission_strategy,
             start_time=self.clock_s,
             rng=self.rng,
+            wire_sizes_bytes=wire_sizes,
         )
+        if report.wire_latencies_s is not None and self.telemetry.enabled:
+            # Measured counterpart of the analytic Fig. 7 latency: the
+            # same assignment, real container bytes on the wire.
+            self.telemetry.observe(
+                "transmission.wire_max_latency_s", report.max_wire_latency_s
+            )
+            self.telemetry.emit(
+                "transmission.wire",
+                round=self.round,
+                max_latency_s=report.max_latency_s,
+                wire_max_latency_s=report.max_wire_latency_s,
+                wire_bytes_total=float(np.sum(report.wire_bytes)),
+            )
         return report.assignment, report.max_latency_s, report.latencies_s
 
     def _theta_state(self) -> Dict[str, np.ndarray]:

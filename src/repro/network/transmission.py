@@ -68,10 +68,23 @@ def assign_random(
 
 @dataclasses.dataclass(frozen=True)
 class TransmissionReport:
-    """Latency outcome of dispatching one round of sub-models."""
+    """Latency outcome of dispatching one round of sub-models.
+
+    ``latencies_s`` always reflects the *analytic* payload sizes (the
+    paper's 4-bytes/scalar cost model — Fig. 7 parity).  When the caller
+    also supplies exact on-wire sizes (``repro.nn.payload_size_bytes``,
+    what the socket transport actually ships), ``wire_bytes`` /
+    ``wire_latencies_s`` carry the measured counterpart under the *same*
+    assignment.
+    """
 
     latencies_s: np.ndarray
     assignment: np.ndarray
+    #: exact on-wire payload bytes per participant (None when the caller
+    #: only provided analytic sizes)
+    wire_bytes: Optional[np.ndarray] = None
+    #: transmission latencies recomputed from ``wire_bytes``
+    wire_latencies_s: Optional[np.ndarray] = None
 
     @property
     def max_latency_s(self) -> float:
@@ -80,6 +93,12 @@ class TransmissionReport:
     @property
     def mean_latency_s(self) -> float:
         return float(self.latencies_s.mean())
+
+    @property
+    def max_wire_latency_s(self) -> float:
+        if self.wire_latencies_s is None:
+            raise ValueError("report carries no measured wire sizes")
+        return float(self.wire_latencies_s.max())
 
 
 STRATEGIES = ("adaptive", "average", "random")
@@ -91,15 +110,30 @@ def round_transmission(
     strategy: str = "adaptive",
     start_time: float = 0.0,
     rng: Optional[np.random.Generator] = None,
+    wire_sizes_bytes: Optional[Sequence[float]] = None,
 ) -> TransmissionReport:
     """Latencies of sending one round of sub-models under ``strategy``.
 
     ``average`` replaces every payload by the round's mean size, modelling
     schemes that ship identical models to everyone.
+
+    ``wire_sizes_bytes`` optionally carries the *exact* on-wire size of
+    each sub-model (``repro.nn.payload_size_bytes``, aligned with
+    ``sizes_bytes``).  Assignment and ``latencies_s`` are always driven
+    by the analytic ``sizes_bytes`` (Fig. 7 parity); the wire sizes ride
+    along through the same assignment and produce the measured
+    ``wire_bytes`` / ``wire_latencies_s`` of the report.
     """
     sizes = np.asarray(sizes_bytes, dtype=float)
     if len(sizes) != len(traces):
         raise ValueError(f"{len(sizes)} models vs {len(traces)} traces")
+    wire_sizes = None
+    if wire_sizes_bytes is not None:
+        wire_sizes = np.asarray(wire_sizes_bytes, dtype=float)
+        if len(wire_sizes) != len(sizes):
+            raise ValueError(
+                f"{len(wire_sizes)} wire sizes vs {len(sizes)} models"
+            )
     bandwidths = np.array([t.bandwidth_at(start_time) for t in traces])
 
     if strategy == "adaptive":
@@ -120,4 +154,21 @@ def round_transmission(
             for trace, payload in zip(traces, payloads)
         ]
     )
-    return TransmissionReport(latencies_s=latencies, assignment=assignment)
+    wire_bytes = wire_latencies = None
+    if wire_sizes is not None:
+        if strategy == "average":
+            wire_bytes = np.full(len(sizes), wire_sizes.mean())
+        else:
+            wire_bytes = wire_sizes[assignment]
+        wire_latencies = np.array(
+            [
+                trace.transfer_time(payload, start_time)
+                for trace, payload in zip(traces, wire_bytes)
+            ]
+        )
+    return TransmissionReport(
+        latencies_s=latencies,
+        assignment=assignment,
+        wire_bytes=wire_bytes,
+        wire_latencies_s=wire_latencies,
+    )

@@ -27,7 +27,9 @@ from .modules import (
 )
 from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
 from .serialize import (
+    WIRE_DTYPES,
     bytes_to_state,
+    payload_size_bytes,
     clone_state,
     model_size_megabytes,
     state_num_parameters,
@@ -72,5 +74,7 @@ __all__ = [
     "clone_state",
     "state_num_parameters",
     "state_size_bytes",
+    "payload_size_bytes",
+    "WIRE_DTYPES",
     "model_size_megabytes",
 ]

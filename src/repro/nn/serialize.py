@@ -1,14 +1,25 @@
 """Serialization helpers: state flattening and wire-size accounting.
 
 The federated simulator needs to (a) snapshot and restore model state for
-the staleness memory pools, and (b) measure how many bytes a model costs
-to transmit — the quantity the paper's adaptive-transmission scheme sorts
-sub-models by.
+the staleness memory pools, (b) measure how many bytes a model costs to
+transmit — the quantity the paper's adaptive-transmission scheme sorts
+sub-models by — and (c) put state dicts on a real wire for the socket
+execution backend (:mod:`repro.transport`).
+
+Two size accountings coexist deliberately:
+
+* :func:`state_size_bytes` — the *analytic* estimate (4 bytes/scalar,
+  float32), matching the paper's Fig. 7 cost model; and
+* :func:`payload_size_bytes` — the *exact* on-wire size of the npz
+  container :func:`state_to_bytes` produces (including zip overhead and
+  optional zlib compression), which is what the transport layer actually
+  sends.
 """
 
 from __future__ import annotations
 
 import io
+import zlib
 from typing import Dict
 
 import numpy as np
@@ -16,27 +27,61 @@ import numpy as np
 from .modules import Module
 
 __all__ = [
+    "WIRE_DTYPES",
     "state_to_bytes",
     "bytes_to_state",
     "state_num_parameters",
     "state_size_bytes",
+    "payload_size_bytes",
     "model_size_megabytes",
     "clone_state",
 ]
 
-_WIRE_BYTES_PER_SCALAR = 4  # models ship as float32
+_WIRE_BYTES_PER_SCALAR = 4  # the analytic model assumes float32 scalars
+
+#: Wire precisions the payload codec can ship.  ``float64`` is lossless
+#: for the (float64) parameter arrays — the precision the socket backend
+#: uses by default so seeded runs stay bit-identical across backends;
+#: ``float32``/``float16`` trade precision for bytes (Sec. IV's
+#: bandwidth-constrained devices) and are therefore *not* bit-identical.
+WIRE_DTYPES = {
+    "float16": np.float16,
+    "float32": np.float32,
+    "float64": np.float64,
+}
 
 
-def state_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
-    """Serialize a state dict to bytes (npz container, float32 payload)."""
+def state_to_bytes(
+    state: Dict[str, np.ndarray], *, dtype: str = "float32", compress: bool = False
+) -> bytes:
+    """Serialize a state dict to bytes (npz container).
+
+    ``dtype`` selects the wire precision (see :data:`WIRE_DTYPES`);
+    ``compress=True`` additionally zlib-compresses the container.  The
+    defaults (float32, uncompressed) match the historical wire format.
+    The output is deterministic: the same state always produces the same
+    bytes.
+    """
+    if dtype not in WIRE_DTYPES:
+        raise ValueError(
+            f"dtype must be one of {sorted(WIRE_DTYPES)}, got {dtype!r}"
+        )
     buffer = io.BytesIO()
-    compact = {k: np.asarray(v, dtype=np.float32) for k, v in state.items()}
+    compact = {k: np.asarray(v, dtype=WIRE_DTYPES[dtype]) for k, v in state.items()}
     np.savez(buffer, **compact)
-    return buffer.getvalue()
+    payload = buffer.getvalue()
+    if compress:
+        payload = zlib.compress(payload)
+    return payload
 
 
-def bytes_to_state(payload: bytes) -> Dict[str, np.ndarray]:
-    """Inverse of :func:`state_to_bytes`."""
+def bytes_to_state(payload: bytes, *, compressed: bool = False) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`state_to_bytes` (arrays come back as float64)."""
+    if compressed:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise ValueError(f"corrupt compressed state payload: {exc}") from exc
     buffer = io.BytesIO(payload)
     with np.load(buffer) as archive:
         return {k: archive[k].astype(np.float64) for k in archive.files}
@@ -47,8 +92,26 @@ def state_num_parameters(state: Dict[str, np.ndarray]) -> int:
 
 
 def state_size_bytes(state: Dict[str, np.ndarray]) -> int:
-    """Wire size of a state dict, assuming float32 scalars."""
+    """*Analytic* wire size of a state dict, assuming 4 bytes/scalar.
+
+    This is the paper's cost model (raw float32 scalars, no container
+    overhead) and what the Fig. 7 adaptive-transmission results sort by.
+    For the exact size of the bytes the transport actually ships, use
+    :func:`payload_size_bytes`.
+    """
     return _WIRE_BYTES_PER_SCALAR * state_num_parameters(state)
+
+
+def payload_size_bytes(
+    state: Dict[str, np.ndarray], *, compressed: bool = False, dtype: str = "float32"
+) -> int:
+    """*Exact* on-wire size of ``state`` as the transport would send it.
+
+    Unlike :func:`state_size_bytes` this includes the npz container (zip
+    headers, per-array npy preambles) and reflects the chosen wire
+    precision and optional zlib compression.
+    """
+    return len(state_to_bytes(state, dtype=dtype, compress=compressed))
 
 
 def model_size_megabytes(model: Module) -> float:

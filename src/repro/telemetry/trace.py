@@ -4,7 +4,10 @@ Consumes the JSONL event stream a :class:`~repro.telemetry.JsonlFileSink`
 wrote (or the in-memory event list) and answers the questions the paper's
 evaluation revolves around: where did wall-clock time go per phase, how
 stale were the updates (Fig. 8), which participants were the slow links
-(Fig. 7), and what did each round contribute (Table V).
+(Fig. 7), and what did each round contribute (Table V).  Runs executed
+with ``--backend socket`` additionally get a wire-traffic section built
+from the ``transport.round`` events the socket backend emits (bytes on
+the wire per round, live worker counts, retries/losses).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
     rounds: List[Dict] = []
     event_counts: Dict[str, int] = collections.Counter()
     timestamps: List[float] = []
+    transport_rounds: List[Dict] = []
 
     for event in events:
         name = event.get("event", "?")
@@ -89,6 +93,17 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
                     "max_latency_s": float(event.get("max_latency_s", 0.0)),
                 }
             )
+        elif name == "transport.round":
+            transport_rounds.append(
+                {
+                    "round": int(event.get("round", -1)),
+                    "workers_live": int(event.get("workers_live", 0)),
+                    "tasks": int(event.get("tasks", 0)),
+                    "failed": int(event.get("failed", 0)),
+                    "bytes_sent": float(event.get("bytes_sent", 0.0)),
+                    "bytes_received": float(event.get("bytes_received", 0.0)),
+                }
+            )
 
     total_phase_wall = sum(p["wall_s"] for p in phases) or 1.0
     for p in phases:
@@ -101,6 +116,24 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
     for entry in participant_rows:
         entry["latency_mean_s"] = entry["latency_total_s"] / max(entry["dispatches"], 1)
 
+    transport = None
+    if transport_rounds:
+        transport = {
+            "rounds": transport_rounds,
+            "bytes_sent_total": sum(r["bytes_sent"] for r in transport_rounds),
+            "bytes_received_total": sum(
+                r["bytes_received"] for r in transport_rounds
+            ),
+            "tasks_total": sum(r["tasks"] for r in transport_rounds),
+            "failed_total": sum(r["failed"] for r in transport_rounds),
+            "min_workers_live": min(r["workers_live"] for r in transport_rounds),
+            "retries": event_counts.get("executor.task_retry", 0),
+            "workers_lost": event_counts.get("transport.worker_lost", 0),
+            "workers_respawned": event_counts.get(
+                "transport.worker_respawned", 0
+            ),
+        }
+
     return {
         "num_events": len(events),
         "wall_s": (max(timestamps) - min(timestamps)) if timestamps else 0.0,
@@ -110,6 +143,7 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
         "outcomes": dict(sorted(outcomes.items())),
         "participants": participant_rows,
         "rounds": rounds,
+        "transport": transport,
         "event_counts": dict(sorted(event_counts.items())),
     }
 
@@ -209,5 +243,44 @@ def render_trace(summary: Dict, top: int = 5, max_round_rows: int = 20) -> str:
             lines.append(f"... ({len(rounds) - len(shown)} more rounds)")
     else:
         lines.append("(no round_end events)")
+
+    transport = summary.get("transport")
+    if transport:
+        lines.append("")
+        lines.append("## Wire traffic (socket backend)")
+        lines.append(
+            f"  sent: {transport['bytes_sent_total'] / 1e3:.1f} kB   "
+            f"received: {transport['bytes_received_total'] / 1e3:.1f} kB   "
+            f"tasks: {transport['tasks_total']}   "
+            f"failed: {transport['failed_total']}"
+        )
+        lines.append(
+            f"  retries: {transport['retries']}   "
+            f"workers lost: {transport['workers_lost']}   "
+            f"respawned: {transport['workers_respawned']}   "
+            f"min live workers: {transport['min_workers_live']}"
+        )
+        shown = transport["rounds"][:max_round_rows]
+        lines.append(
+            markdown_table(
+                ["round", "workers", "tasks", "failed", "kB_sent", "kB_recv"],
+                [
+                    [
+                        r["round"],
+                        r["workers_live"],
+                        r["tasks"],
+                        r["failed"],
+                        r["bytes_sent"] / 1e3,
+                        r["bytes_received"] / 1e3,
+                    ]
+                    for r in shown
+                ],
+                precision=1,
+            )
+        )
+        if len(transport["rounds"]) > len(shown):
+            lines.append(
+                f"... ({len(transport['rounds']) - len(shown)} more rounds)"
+            )
 
     return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""``repro.transport`` — the networked participant runtime.
+
+A pure-stdlib distributed execution layer: participant workers run as
+separate daemon processes (``python -m repro serve --host --port``) and
+speak a length-prefixed binary protocol over TCP to the search server.
+The server side is :class:`SocketBackend`, a drop-in
+:class:`repro.federated.executor.ExecutionBackend` — seeded runs are
+bit-identical across the ``serial``, ``process``, and ``socket``
+backends.
+
+Layers, bottom up:
+
+* :mod:`repro.transport.protocol` — the frame codec
+  (``MAGIC | version | msg_type | length | crc32 | payload``) and
+  :class:`FrameConnection`, a socket wrapper with deadlines and byte
+  accounting.  Malformed input raises :class:`ProtocolError`; it never
+  hangs a read loop.
+* :mod:`repro.transport.codec` — message payload codecs: tensor payloads
+  (tasks/updates) ride :func:`repro.nn.state_to_bytes` with optional
+  zlib compression and reduced wire precision, both negotiated at hello.
+* :mod:`repro.transport.worker` — the participant daemon: accept loop,
+  hello/init registration, task execution, heartbeats, reconnects.
+* :mod:`repro.transport.backend` — :class:`SocketBackend`: dispatches
+  ``LocalStepTask``s to connected workers, enforces per-task deadlines
+  with one retry on a different replica, degrades unreachable workers'
+  tasks to offline-for-the-round, and re-registers workers that come
+  back.  Wire telemetry (``transport.bytes_sent/received``, RTT
+  histograms, per-round byte counts) flows through the regular
+  telemetry registry and ``repro trace``.
+
+Trust model: the init message ships participant shards via pickle, so
+workers must only accept connections from hosts you control (the
+intended deployment is localhost / a private cluster network).
+"""
+
+from .backend import SocketBackend, WorkerEndpoint, spawn_local_worker
+from .codec import (
+    decode_hello,
+    decode_task,
+    decode_update,
+    encode_hello,
+    encode_task,
+    encode_update,
+)
+from .protocol import (
+    HEADER_BYTES,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    MSG_ACK,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_HEARTBEAT_ACK,
+    MSG_HELLO,
+    MSG_HELLO_ACK,
+    MSG_INIT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    MSG_UPDATE,
+    PROTOCOL_VERSION,
+    FrameConnection,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from .worker import READY_PREFIX, WorkerServer, serve
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "MSG_HELLO",
+    "MSG_HELLO_ACK",
+    "MSG_INIT",
+    "MSG_ACK",
+    "MSG_TASK",
+    "MSG_UPDATE",
+    "MSG_HEARTBEAT",
+    "MSG_HEARTBEAT_ACK",
+    "MSG_SHUTDOWN",
+    "MSG_ERROR",
+    "ProtocolError",
+    "FrameConnection",
+    "encode_frame",
+    "decode_frame",
+    "encode_hello",
+    "decode_hello",
+    "encode_task",
+    "decode_task",
+    "encode_update",
+    "decode_update",
+    "WorkerServer",
+    "serve",
+    "READY_PREFIX",
+    "SocketBackend",
+    "WorkerEndpoint",
+    "spawn_local_worker",
+]

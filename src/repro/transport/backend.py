@@ -1,0 +1,626 @@
+"""``SocketBackend`` — the server side of the networked runtime.
+
+Implements the :class:`repro.federated.executor.ExecutionBackend`
+protocol over TCP worker daemons (:mod:`repro.transport.worker`).  Two
+ways to get workers:
+
+* **external** — pass ``workers=["host:port", ...]`` for daemons you
+  started yourself (``python -m repro serve``); the backend dials,
+  registers (hello + init), and leaves the daemons running on close;
+* **auto-spawn** — pass no addresses and the backend launches
+  ``num_workers`` local daemons as subprocesses (the zero-config path
+  behind ``--backend socket`` / ``REPRO_BACKEND=socket``), shutting
+  them down on close and **respawning** dead ones at round start.
+
+Failure semantics per round (mirrors :class:`ProcessPoolBackend`):
+
+* every task has a deadline (``task_timeout_s``, covering send +
+  remote compute + reply);
+* a timed-out / erroring task is retried up to ``max_retries`` times,
+  each retry on a *different* live replica when one exists;
+* a task that exhausts its retries returns ``TaskResult(update=None)``
+  — the server records the participant offline for the round and the
+  soft-synchronisation path absorbs the gap;
+* a worker whose connection failed is marked dead for the rest of the
+  round and re-dialled (re-registered) at the next round's start, so a
+  worker that comes back re-enters the pool next round.
+
+Determinism: workers compute :func:`run_local_step` on bit-exact
+float64 payloads (default wire precision), every source of randomness
+travels inside the task, and results are returned in task order — so a
+seeded run is bit-identical to the serial backend no matter how tasks
+interleave on the wire.  ``wire_dtype="float16"/"float32"`` trades that
+exactness for bandwidth.
+
+Wire telemetry: ``transport.bytes_sent`` / ``transport.bytes_received``
+counters (all frames, headers included), ``transport.task_rtt_s`` and
+per-participant ``transport.task_rtt_s.p<k>`` histograms,
+``transport.payload_bytes`` (measured task payload sizes), heartbeat
+RTTs, worker lifecycle events, and one ``transport.round`` event per
+``run_tasks`` call — all through the regular telemetry registry, so
+``repro trace`` can report measured wire traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.federated.executor import ParticipantSpec, TaskResult
+from repro.federated.participant import LocalStepTask
+from repro.nn.serialize import WIRE_DTYPES
+from repro.search_space import SupernetConfig
+from repro.telemetry import Telemetry
+
+from . import codec
+from .protocol import (
+    MSG_ACK,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_HEARTBEAT_ACK,
+    MSG_HELLO,
+    MSG_HELLO_ACK,
+    MSG_INIT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    MSG_UPDATE,
+    FrameConnection,
+    ProtocolError,
+)
+from .worker import READY_PREFIX
+
+__all__ = ["WorkerEndpoint", "SocketBackend", "spawn_local_worker", "parse_address"]
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` with a helpful error."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"worker address {address!r} must look like 'host:port'"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ValueError(
+            f"worker address {address!r} has a non-numeric port"
+        ) from exc
+
+
+def spawn_local_worker(
+    host: str = "127.0.0.1",
+    idle_timeout_s: float = 300.0,
+    ready_timeout_s: float = 30.0,
+) -> Tuple[subprocess.Popen, str, int]:
+    """Launch ``python -m repro serve`` on an OS-assigned port.
+
+    Returns ``(process, host, port)`` once the daemon announced
+    readiness on stdout.  The idle timeout is a leak guard: an orphaned
+    worker (its server crashed without a shutdown frame) exits by
+    itself.
+    """
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            host,
+            "--port",
+            "0",
+            "--idle-timeout",
+            str(idle_timeout_s),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    deadline = time.monotonic() + ready_timeout_s
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break  # daemon died before announcing
+        if line.startswith(READY_PREFIX):
+            _, ready_host, ready_port = line.split()
+            return proc, ready_host, int(ready_port)
+    proc.kill()
+    raise RuntimeError(
+        f"spawned worker never announced readiness (last stdout: {line!r})"
+    )
+
+
+class WorkerEndpoint:
+    """One worker the backend knows about: address, connection, health."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        proc: Optional[subprocess.Popen] = None,
+    ):
+        self.host = host
+        self.port = port
+        #: the daemon subprocess when this backend spawned it (owned:
+        #: shut down on close, respawned when found dead)
+        self.proc = proc
+        self.conn: Optional[FrameConnection] = None
+        self.registered = False
+        self.rounds_failed = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.conn is not None and self.registered
+
+    def drop(self) -> None:
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+        self.registered = False
+
+
+class SocketBackend:
+    """Distributed participant execution over TCP worker daemons."""
+
+    name = "socket"
+
+    def __init__(
+        self,
+        participants: Sequence[object],
+        supernet_config: SupernetConfig,
+        workers: Optional[Sequence[str]] = None,
+        num_workers: Optional[int] = None,
+        task_timeout_s: float = 60.0,
+        max_retries: int = 1,
+        connect_timeout_s: float = 10.0,
+        compression: str = "none",
+        wire_dtype: str = "float64",
+        telemetry: Optional[Telemetry] = None,
+        spawn_idle_timeout_s: float = 300.0,
+    ):
+        if task_timeout_s <= 0:
+            raise ValueError(f"task_timeout_s must be positive, got {task_timeout_s}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if compression not in codec.COMPRESSIONS:
+            raise ValueError(
+                f"compression must be one of {codec.COMPRESSIONS}, "
+                f"got {compression!r}"
+            )
+        if wire_dtype not in WIRE_DTYPES:
+            raise ValueError(
+                f"wire_dtype must be one of {sorted(WIRE_DTYPES)}, "
+                f"got {wire_dtype!r}"
+            )
+        self._specs = [
+            spec
+            if isinstance(spec, ParticipantSpec)
+            else ParticipantSpec.from_participant(spec)  # type: ignore[arg-type]
+            for spec in participants
+        ]
+        if not self._specs:
+            raise ValueError("at least one participant required")
+        self._supernet_config = supernet_config
+        self.task_timeout_s = float(task_timeout_s)
+        self.max_retries = int(max_retries)
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.compression = compression
+        self.wire_dtype = wire_dtype
+        self.telemetry = telemetry or Telemetry.disabled()
+        self._spawn_idle_timeout_s = float(spawn_idle_timeout_s)
+        self._seq = 0
+        self._round_counter = 0
+        self._lock = threading.Lock()
+
+        if workers:
+            self._auto_spawn = False
+            self.num_workers = len(workers)
+            self._endpoints = [
+                WorkerEndpoint(*parse_address(address)) for address in workers
+            ]
+        else:
+            self._auto_spawn = True
+            self.num_workers = int(num_workers) if num_workers else min(
+                len(self._specs), os.cpu_count() or 2, 4
+            )
+            if self.num_workers < 1:
+                raise ValueError(
+                    f"num_workers must be >= 1, got {self.num_workers}"
+                )
+            #: spawned lazily on first run_tasks
+            self._endpoints = []
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _on_traffic(self, sent: int, received: int) -> None:
+        if not self.telemetry.enabled:
+            return
+        with self._lock:
+            if sent:
+                self.telemetry.count("transport.bytes_sent", sent)
+            if received:
+                self.telemetry.count("transport.bytes_received", received)
+
+    def _register(self, endpoint: WorkerEndpoint) -> bool:
+        """Dial + hello + init one endpoint; returns success."""
+        try:
+            sock = socket.create_connection(
+                (endpoint.host, endpoint.port), timeout=self.connect_timeout_s
+            )
+        except OSError:
+            return False
+        conn = FrameConnection(sock, on_traffic=self._on_traffic)
+        try:
+            msg_type, payload = conn.request(
+                MSG_HELLO,
+                codec.encode_hello(
+                    compression=self.compression, wire_dtype=self.wire_dtype
+                ),
+                timeout=self.connect_timeout_s,
+            )
+            if msg_type != MSG_HELLO_ACK:
+                raise ProtocolError(
+                    f"expected hello_ack, got message type {msg_type:#x}"
+                )
+            msg_type, payload = conn.request(
+                MSG_INIT,
+                codec.encode_init(self._specs, self._supernet_config),
+                timeout=max(self.connect_timeout_s, self.task_timeout_s),
+            )
+            if msg_type != MSG_ACK:
+                raise ProtocolError(
+                    f"expected init ack, got message type {msg_type:#x}"
+                )
+        except (ProtocolError, OSError) as exc:
+            conn.close()
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "transport.register_failed",
+                    worker=endpoint.address,
+                    error=str(exc),
+                )
+            return False
+        endpoint.conn = conn
+        endpoint.registered = True
+        if self.telemetry.enabled:
+            self.telemetry.count("transport.worker_registered")
+            self.telemetry.emit(
+                "transport.worker_registered", worker=endpoint.address
+            )
+        return True
+
+    def _mark_lost(self, endpoint: WorkerEndpoint, reason: str) -> None:
+        was_alive = endpoint.alive
+        endpoint.drop()
+        if was_alive and self.telemetry.enabled:
+            self.telemetry.count("transport.worker_lost")
+            self.telemetry.emit(
+                "transport.worker_lost", worker=endpoint.address, reason=reason
+            )
+
+    def _ensure_workers(self) -> List[WorkerEndpoint]:
+        """Redial, respawn, and heartbeat; returns live endpoints.
+
+        Called at the start of every ``run_tasks`` — this is where a
+        worker that dropped in an earlier round re-enters the pool.
+        """
+        if self._auto_spawn and not self._endpoints:
+            for _ in range(self.num_workers):
+                proc, host, port = spawn_local_worker(
+                    idle_timeout_s=self._spawn_idle_timeout_s
+                )
+                self._endpoints.append(WorkerEndpoint(host, port, proc=proc))
+        for endpoint in self._endpoints:
+            # An owned daemon that died (e.g. kill -9) gets a fresh
+            # process on its slot.
+            if (
+                self._auto_spawn
+                and endpoint.proc is not None
+                and endpoint.proc.poll() is not None
+            ):
+                endpoint.drop()
+                try:
+                    proc, host, port = spawn_local_worker(
+                        idle_timeout_s=self._spawn_idle_timeout_s
+                    )
+                except RuntimeError:
+                    continue
+                endpoint.proc, endpoint.host, endpoint.port = proc, host, port
+                if self.telemetry.enabled:
+                    self.telemetry.count("transport.worker_respawned")
+                    self.telemetry.emit(
+                        "transport.worker_respawned", worker=endpoint.address
+                    )
+            if not endpoint.alive:
+                self._register(endpoint)
+            elif not self._heartbeat(endpoint):
+                # Stale connection (worker restarted, half-open TCP):
+                # drop and immediately try one re-registration.
+                self._register(endpoint)
+        return [e for e in self._endpoints if e.alive]
+
+    def _heartbeat(self, endpoint: WorkerEndpoint) -> bool:
+        start = time.perf_counter()
+        try:
+            msg_type, _payload = endpoint.conn.request(
+                MSG_HEARTBEAT, b"", timeout=self.connect_timeout_s
+            )
+            if msg_type != MSG_HEARTBEAT_ACK:
+                raise ProtocolError(
+                    f"expected heartbeat_ack, got message type {msg_type:#x}"
+                )
+        except (ProtocolError, OSError) as exc:
+            self._mark_lost(endpoint, f"heartbeat failed: {exc}")
+            return False
+        if self.telemetry.enabled:
+            self.telemetry.observe(
+                "transport.heartbeat_rtt_s", time.perf_counter() - start
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _execute_on(
+        self, endpoint: WorkerEndpoint, task: LocalStepTask
+    ) -> Tuple[Optional[TaskResult], str]:
+        """One attempt of one task on one worker.
+
+        Returns ``(result, "")`` on success or ``(None, reason)`` on
+        failure; connection-level failures also mark the worker lost.
+        """
+        seq = self._next_seq()
+        payload = codec.encode_task(
+            task, seq, compression=self.compression, wire_dtype=self.wire_dtype
+        )
+        start = time.perf_counter()
+        try:
+            msg_type, reply = endpoint.conn.request(
+                MSG_TASK, payload, timeout=self.task_timeout_s
+            )
+            if msg_type == MSG_ERROR:
+                # The worker is healthy, the task failed remotely.
+                _seq, error = codec.decode_error(reply)
+                return None, f"remote error: {error}"
+            if msg_type != MSG_UPDATE:
+                raise ProtocolError(
+                    f"expected update, got message type {msg_type:#x}"
+                )
+            update, reply_seq = codec.decode_update(reply)
+            if reply_seq != seq:
+                raise ProtocolError(
+                    f"reply seq {reply_seq} does not match request seq {seq}"
+                )
+        except socket.timeout:
+            self._mark_lost(
+                endpoint, f"task deadline ({self.task_timeout_s:g}s) exceeded"
+            )
+            return None, f"task timed out after {self.task_timeout_s:g}s"
+        except (ProtocolError, OSError) as exc:
+            self._mark_lost(endpoint, str(exc))
+            return None, f"{type(exc).__name__}: {exc}"
+        rtt = time.perf_counter() - start
+        if self.telemetry.enabled:
+            with self._lock:
+                self.telemetry.observe("transport.task_rtt_s", rtt)
+                self.telemetry.observe(
+                    f"transport.task_rtt_s.p{task.participant_id}", rtt
+                )
+                self.telemetry.observe("transport.payload_bytes", len(payload))
+        return (
+            TaskResult(
+                task.participant_id,
+                update,
+                attempts=1,
+                compute_s=update.compute_time_s if update else 0.0,
+            ),
+            "",
+        )
+
+    def run_tasks(self, tasks: Sequence[LocalStepTask]) -> List[TaskResult]:
+        telemetry = self.telemetry
+        round_index = tasks[0].round_index if tasks else self._round_counter
+        self._round_counter += 1
+        live = self._ensure_workers()
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        last_error = ["no live workers"] * len(tasks)
+
+        if telemetry.enabled:
+            for task in tasks:
+                telemetry.emit(
+                    "executor.dispatch",
+                    backend=self.name,
+                    round=task.round_index,
+                    participant=task.participant_id,
+                )
+            telemetry.gauge("executor.inflight", len(tasks))
+            telemetry.gauge("transport.workers_live", len(live))
+
+        bytes_before = self._traffic_snapshot()
+        pending = list(range(len(tasks)))
+        #: worker each task index failed on last (avoided on retry)
+        failed_on: Dict[int, WorkerEndpoint] = {}
+        # Attempt 0 is the first dispatch; each extra pass is a retry.
+        for attempt in range(self.max_retries + 1):
+            if not pending:
+                break
+            live = [e for e in self._endpoints if e.alive]
+            if not live:
+                break
+            assignments = self._assign(pending, live, failed_on)
+            pending = self._run_assignments(
+                tasks, assignments, results, attempts, last_error, failed_on
+            )
+            if pending and attempt < self.max_retries and telemetry.enabled:
+                for index in pending:
+                    telemetry.count("executor.task_retries")
+                    telemetry.emit(
+                        "executor.task_retry",
+                        backend=self.name,
+                        round=tasks[index].round_index,
+                        participant=tasks[index].participant_id,
+                        attempt=attempts[index] + 1,
+                        error=last_error[index],
+                    )
+
+        final: List[TaskResult] = []
+        for index, task in enumerate(tasks):
+            result = results[index]
+            if result is None:
+                if telemetry.enabled:
+                    telemetry.count("executor.worker_crashes")
+                    telemetry.emit(
+                        "executor.worker_crash",
+                        backend=self.name,
+                        round=task.round_index,
+                        participant=task.participant_id,
+                        attempts=max(attempts[index], 1),
+                        error=last_error[index],
+                    )
+                result = TaskResult(
+                    task.participant_id,
+                    None,
+                    attempts=max(attempts[index], 1),
+                    error=last_error[index],
+                )
+            else:
+                result.attempts = attempts[index]
+            final.append(result)
+
+        if telemetry.enabled:
+            sent, received = self._traffic_snapshot()
+            telemetry.gauge("executor.inflight", 0)
+            telemetry.emit(
+                "transport.round",
+                round=round_index,
+                workers_live=len([e for e in self._endpoints if e.alive]),
+                tasks=len(tasks),
+                failed=sum(1 for r in final if not r.ok),
+                bytes_sent=sent - bytes_before[0],
+                bytes_received=received - bytes_before[1],
+            )
+        return final
+
+    def _traffic_snapshot(self) -> Tuple[int, int]:
+        sent = received = 0
+        for endpoint in self._endpoints:
+            if endpoint.conn is not None:
+                sent += endpoint.conn.bytes_sent
+                received += endpoint.conn.bytes_received
+        return sent, received
+
+    @staticmethod
+    def _assign(
+        pending: Sequence[int],
+        live: Sequence[WorkerEndpoint],
+        failed_on: Dict[int, WorkerEndpoint],
+    ) -> Dict[WorkerEndpoint, List[int]]:
+        """Round-robin pending task indices over live workers, steering
+        each retry onto a different replica than the one it failed on
+        (when more than one replica is alive)."""
+        assignments: Dict[WorkerEndpoint, List[int]] = {e: [] for e in live}
+        for position, index in enumerate(pending):
+            choice = live[position % len(live)]
+            avoid = failed_on.get(index)
+            if avoid is choice and len(live) > 1:
+                choice = live[(position + 1) % len(live)]
+            assignments[choice].append(index)
+        return assignments
+
+    def _run_assignments(
+        self,
+        tasks: Sequence[LocalStepTask],
+        assignments: Dict[WorkerEndpoint, List[int]],
+        results: List[Optional[TaskResult]],
+        attempts: List[int],
+        last_error: List[str],
+        failed_on: Dict[int, WorkerEndpoint],
+    ) -> List[int]:
+        """Run one dispatch pass (one thread per worker); returns the
+        task indices that still need a retry."""
+        failures: List[int] = []
+        failures_lock = threading.Lock()
+
+        def drive(endpoint: WorkerEndpoint, indices: List[int]) -> None:
+            for index in indices:
+                attempts[index] += 1
+                result, reason = self._execute_on(endpoint, tasks[index])
+                if result is not None:
+                    results[index] = result
+                    continue
+                with failures_lock:
+                    failures.append(index)
+                    last_error[index] = reason
+                    failed_on[index] = endpoint
+                if not endpoint.alive:
+                    # Connection is gone; fail the rest of this
+                    # worker's queue fast so retries can pick them up.
+                    remaining = indices[indices.index(index) + 1 :]
+                    with failures_lock:
+                        for later in remaining:
+                            attempts[later] += 1
+                            failures.append(later)
+                            last_error[later] = (
+                                f"worker {endpoint.address} lost before dispatch"
+                            )
+                            failed_on[later] = endpoint
+                    return
+
+        threads = [
+            threading.Thread(target=drive, args=(endpoint, indices), daemon=True)
+            for endpoint, indices in assignments.items()
+            if indices
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return sorted(failures)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop all connections; shut down and reap owned daemons.
+
+        Idempotent; like the other backends, a closed SocketBackend
+        re-acquires workers lazily if tasks arrive again.
+        """
+        for endpoint in self._endpoints:
+            # Only daemons this backend spawned get a shutdown frame;
+            # external workers stay up for their next server.
+            if endpoint.conn is not None and endpoint.proc is not None:
+                try:
+                    endpoint.conn.send_frame(MSG_SHUTDOWN, b"", timeout=2.0)
+                    endpoint.conn.recv_frame(timeout=2.0)
+                except (ProtocolError, OSError, socket.timeout):
+                    pass
+            endpoint.drop()
+            if endpoint.proc is not None:
+                try:
+                    endpoint.proc.terminate()
+                    endpoint.proc.wait(timeout=5.0)
+                except (OSError, subprocess.TimeoutExpired):
+                    endpoint.proc.kill()
+                    endpoint.proc.wait()
+        if self._auto_spawn:
+            self._endpoints = []

@@ -1,0 +1,251 @@
+"""The participant worker daemon behind ``python -m repro serve``.
+
+A worker is the on-device half of the paper's protocol: it holds the
+(immutable) participant shards it was registered with, accepts sub-model
+tasks from the search server, runs the local step, and returns the
+``(reward, ∇θ)`` reply.  One daemon serves one server connection at a
+time; when a connection drops (server restart, network fault) the daemon
+simply returns to its accept loop, so a redialling server re-registers
+and the worker re-enters the pool — the reconnect story of the socket
+backend.
+
+Robustness contract of the read loop:
+
+* a malformed frame (bad magic, CRC mismatch, oversized length, garbage
+  payload) raises :class:`ProtocolError`, which **closes the
+  connection** — it never hangs the loop and never kills the daemon;
+* an exception inside a local step is reported back as an ``error``
+  frame (the server degrades that task), the connection stays up;
+* ``shutdown`` stops the daemon cleanly (used by auto-spawned workers).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import traceback
+from typing import Dict, List, Optional
+
+from repro.federated.executor import ParticipantSpec
+from repro.federated.participant import run_local_step
+from repro.search_space import SupernetConfig
+
+from . import codec
+from .protocol import (
+    MSG_ACK,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_HEARTBEAT_ACK,
+    MSG_HELLO,
+    MSG_HELLO_ACK,
+    MSG_INIT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    MSG_UPDATE,
+    PROTOCOL_VERSION,
+    FrameConnection,
+    ProtocolError,
+)
+
+__all__ = ["WorkerServer", "serve", "READY_PREFIX"]
+
+#: Line a worker prints on stdout once its listening socket is bound;
+#: spawners parse it to learn the OS-assigned port (``--port 0``).
+READY_PREFIX = "REPRO-WORKER-READY"
+
+
+class WorkerServer:
+    """One participant worker: a listening socket plus its task state.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 asks the OS for a free port (the bound port
+        is in :attr:`port` after construction).
+    idle_timeout_s:
+        Exit the accept loop after this many seconds without a
+        connection (None = wait forever).  Auto-spawned workers use it
+        as a leak guard: a worker whose server died stops itself.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout_s: Optional[float] = None,
+    ):
+        self.idle_timeout_s = idle_timeout_s
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(4)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._specs: Dict[int, ParticipantSpec] = {}
+        self._supernet_config: Optional[SupernetConfig] = None
+        self._compression = "none"
+        self._wire_dtype = "float64"
+        self._running = False
+        self.tasks_completed = 0
+        self.connections_served = 0
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> int:
+        """Accept loop; returns an exit code (0 = clean shutdown)."""
+        self._running = True
+        try:
+            while self._running:
+                self._listener.settimeout(self.idle_timeout_s)
+                try:
+                    sock, _addr = self._listener.accept()
+                except socket.timeout:
+                    return 0  # idle guard expired
+                except OSError:
+                    return 0  # listener closed under us (stop())
+                self.connections_served += 1
+                self._serve_connection(FrameConnection(sock))
+            return 0
+        finally:
+            self.close()
+
+    def stop(self) -> None:
+        """Stop the accept loop from another thread (tests)."""
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: FrameConnection) -> None:
+        try:
+            while True:
+                try:
+                    msg_type, payload = conn.recv_frame(timeout=None)
+                except ProtocolError:
+                    # Corrupt stream: there is no resync point, drop the
+                    # connection.  The daemon itself stays up.
+                    return
+                except (socket.timeout, OSError):
+                    return
+                if not self._handle_frame(conn, msg_type, payload):
+                    return
+        finally:
+            conn.close()
+
+    def _handle_frame(
+        self, conn: FrameConnection, msg_type: int, payload: bytes
+    ) -> bool:
+        """Process one frame; returns False when the connection (or the
+        whole daemon, for shutdown) should stop."""
+        if msg_type == MSG_HELLO:
+            try:
+                hello = codec.decode_hello(payload)
+            except ProtocolError as exc:
+                conn.send_frame(MSG_ERROR, codec.encode_error(-1, str(exc)))
+                return False
+            self._compression = hello["compression"]
+            self._wire_dtype = hello["wire_dtype"]
+            conn.send_frame(
+                MSG_HELLO_ACK,
+                codec.encode_json(
+                    {
+                        "version": PROTOCOL_VERSION,
+                        "compression": self._compression,
+                        "wire_dtype": self._wire_dtype,
+                        "num_specs": len(self._specs),
+                    }
+                ),
+            )
+            return True
+        if msg_type == MSG_INIT:
+            try:
+                specs, supernet_config = codec.decode_init(payload)
+            except ProtocolError as exc:
+                conn.send_frame(MSG_ERROR, codec.encode_error(-1, str(exc)))
+                return False
+            self._specs = {spec.participant_id: spec for spec in specs}
+            self._supernet_config = supernet_config
+            conn.send_frame(
+                MSG_ACK, codec.encode_json({"num_specs": len(self._specs)})
+            )
+            return True
+        if msg_type == MSG_TASK:
+            self._handle_task(conn, payload)
+            return True
+        if msg_type == MSG_HEARTBEAT:
+            conn.send_frame(MSG_HEARTBEAT_ACK, payload)
+            return True
+        if msg_type == MSG_SHUTDOWN:
+            conn.send_frame(MSG_ACK, codec.encode_json({"bye": True}))
+            self._running = False
+            return False
+        # Unexpected-but-valid type (e.g. a stray ack): ignore it.
+        return True
+
+    def _handle_task(self, conn: FrameConnection, payload: bytes) -> None:
+        seq = -1
+        try:
+            task, seq = codec.decode_task(payload)
+            spec = self._specs.get(task.participant_id)
+            if spec is None or self._supernet_config is None:
+                raise RuntimeError(
+                    f"worker holds no spec for participant {task.participant_id} "
+                    "(init not received?)"
+                )
+            update = run_local_step(
+                task,
+                spec.dataset,
+                spec.batch_size,
+                self._supernet_config,
+                transform=spec.transform,
+                device=spec.device,
+            )
+            self.tasks_completed += 1
+            conn.send_frame(
+                MSG_UPDATE,
+                codec.encode_update(
+                    update,
+                    seq,
+                    compression=self._compression,
+                    wire_dtype=self._wire_dtype,
+                ),
+            )
+        except ProtocolError as exc:
+            conn.send_frame(MSG_ERROR, codec.encode_error(seq, f"bad task: {exc}"))
+        except Exception:
+            conn.send_frame(
+                MSG_ERROR,
+                codec.encode_error(
+                    seq, f"local step failed:\n{traceback.format_exc()}"
+                ),
+            )
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    idle_timeout_s: Optional[float] = None,
+    announce: bool = True,
+) -> int:
+    """Run a worker daemon until shutdown; the ``repro serve`` body.
+
+    Prints ``REPRO-WORKER-READY <host> <port>`` once listening so a
+    spawner using ``--port 0`` can learn the bound port.
+    """
+    server = WorkerServer(host, port, idle_timeout_s=idle_timeout_s)
+    if announce:
+        print(f"{READY_PREFIX} {server.host} {server.port}", flush=True)
+        print(
+            f"worker pid={os.getpid()} listening on "
+            f"{server.host}:{server.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+    return server.serve_forever()

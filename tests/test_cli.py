@@ -70,6 +70,33 @@ class TestArgumentParsing:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--backend", "quantum"])
 
+    def test_socket_backend_flags(self):
+        config = self.parse(
+            [
+                "--backend", "socket",
+                "--socket-workers", "127.0.0.1:7000", "127.0.0.1:7001",
+                "--task-retries", "2",
+                "--wire-compression", "zlib",
+                "--wire-dtype", "float32",
+                "--measure-wire",
+            ]
+        )
+        assert config.backend == "socket"
+        assert config.socket_workers == ("127.0.0.1:7000", "127.0.0.1:7001")
+        assert config.task_retries == 2
+        assert config.socket_compression == "zlib"
+        assert config.socket_wire_dtype == "float32"
+        assert config.measure_wire_bytes is True
+
+    def test_socket_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        config = self.parse([])
+        assert config.socket_workers is None
+        assert config.task_retries == 1
+        assert config.socket_compression == "none"
+        assert config.socket_wire_dtype == "float64"
+        assert config.measure_wire_bytes is False
+
     def test_backend_defaults_unchanged(self, monkeypatch):
         monkeypatch.delenv("REPRO_BACKEND", raising=False)
         config = self.parse([])
@@ -116,6 +143,22 @@ class TestSubcommands:
     def test_run_rejects_trace_arguments(self):
         with pytest.raises(SystemExit):
             build_main_parser().parse_args(["run", "run.jsonl"])
+
+    def test_serve_subcommand_parses(self):
+        args = build_main_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "7000",
+             "--idle-timeout", "60"]
+        )
+        assert args.command == "serve"
+        assert args.host == "0.0.0.0"
+        assert args.port == 7000
+        assert args.idle_timeout == 60.0
+
+    def test_serve_defaults(self):
+        args = build_main_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.idle_timeout is None
 
     def test_trace_on_missing_file_errors(self, capsys):
         assert main(["trace", "/nonexistent/run.jsonl"]) == 1

@@ -128,6 +128,37 @@ class TestValidation:
         with pytest.raises(ValueError, match="task_timeout_s"):
             ExperimentConfig(task_timeout_s=0.0)
 
+    def test_negative_task_retries(self):
+        with pytest.raises(ValueError, match="task_retries"):
+            ExperimentConfig(task_retries=-1)
+
+    def test_bad_socket_compression(self):
+        with pytest.raises(ValueError, match="socket_compression"):
+            ExperimentConfig(socket_compression="lz4")
+
+    def test_bad_socket_wire_dtype(self):
+        with pytest.raises(ValueError, match="socket_wire_dtype"):
+            ExperimentConfig(socket_wire_dtype="int8")
+
+    def test_bad_socket_worker_address(self):
+        with pytest.raises(ValueError, match="socket_workers"):
+            ExperimentConfig(socket_workers=("localhost",))
+        with pytest.raises(ValueError, match="socket_workers"):
+            ExperimentConfig(socket_workers=())
+
+    def test_socket_fields_round_trip(self):
+        config = ExperimentConfig(
+            backend="socket",
+            socket_workers=("127.0.0.1:7000", "127.0.0.1:7001"),
+            socket_compression="zlib",
+            socket_wire_dtype="float32",
+            task_retries=2,
+            measure_wire_bytes=True,
+        )
+        rebuilt = ExperimentConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.socket_workers == ("127.0.0.1:7000", "127.0.0.1:7001")
+
 
 class TestBackendDefault:
     def test_default_is_serial(self, monkeypatch):

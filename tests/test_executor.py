@@ -169,10 +169,11 @@ class TestBackendEquivalence:
             np.testing.assert_array_equal(a.data, b.data, err_msg=name)
 
     def test_small_profile_search_report_bit_identical(self):
-        """The ISSUE 2 acceptance check: ``ExperimentConfig.small(seed=1)``
-        produces a bit-identical ``SearchReport`` under both backends."""
+        """The ISSUE 2/4 acceptance check: ``ExperimentConfig.small(seed=1)``
+        produces a bit-identical ``SearchReport`` under all three backends
+        (serial, process-pool, and socket/TCP)."""
         reports = {}
-        for backend in ("serial", "process"):
+        for backend in ("serial", "process", "socket"):
             config = ExperimentConfig.small(
                 seed=1, backend=backend, num_workers=2, telemetry_enabled=False
             )
@@ -182,14 +183,20 @@ class TestBackendEquivalence:
             finally:
                 pipeline.close()
 
-        serial, process = reports["serial"], reports["process"]
-        assert serial.genotype == process.genotype
-        assert serial.test_accuracy == process.test_accuracy
-        assert serial.model_parameters == process.model_parameters
-        assert serial.simulated_search_time_s == process.simulated_search_time_s
-        for attr in ("warmup_results", "search_results"):
-            for a, b in zip(getattr(serial, attr), getattr(process, attr)):
-                assert a == b, f"{attr} diverged at round {a.round_index}"
+        serial = reports["serial"]
+        for name in ("process", "socket"):
+            other = reports[name]
+            assert serial.genotype == other.genotype, name
+            assert serial.test_accuracy == other.test_accuracy, name
+            assert serial.model_parameters == other.model_parameters, name
+            assert (
+                serial.simulated_search_time_s == other.simulated_search_time_s
+            ), name
+            for attr in ("warmup_results", "search_results"):
+                for a, b in zip(getattr(serial, attr), getattr(other, attr)):
+                    assert a == b, (
+                        f"{name} {attr} diverged at round {a.round_index}"
+                    )
 
 
 @pytest.mark.skipif(
@@ -261,6 +268,11 @@ class TestBackendPlumbing:
         process = build_backend("process", participants, TINY, num_workers=2)
         assert isinstance(process, ProcessPoolBackend) and process.name == "process"
         process.close()
+        from repro.transport import SocketBackend
+
+        sock = build_backend("socket", participants, TINY, num_workers=1)
+        assert isinstance(sock, SocketBackend) and sock.name == "socket"
+        sock.close()  # no daemons spawned yet: close is a no-op
         with pytest.raises(ValueError):
             build_backend("quantum", participants, TINY)
 

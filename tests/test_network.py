@@ -192,6 +192,48 @@ class TestRoundTransmission:
         )
         assert report.max_latency_s >= report.mean_latency_s
 
+    def test_wire_sizes_ride_the_analytic_assignment(self):
+        """Satellite 1: measured wire sizes never change the assignment
+        or the analytic (Fig. 7) latencies — they only add the measured
+        counterpart under the same assignment."""
+        sizes = [1e6, 4e6, 2e6]
+        wire = [1.5e6, 4.5e6, 2.5e6]  # container overhead inflates each
+        traces = self.make_traces([8.0, 4.0, 2.0])
+        plain = round_transmission(sizes, traces, "adaptive")
+        measured = round_transmission(
+            sizes, traces, "adaptive", wire_sizes_bytes=wire
+        )
+        np.testing.assert_array_equal(measured.assignment, plain.assignment)
+        np.testing.assert_array_equal(measured.latencies_s, plain.latencies_s)
+        assert measured.wire_bytes is not None
+        np.testing.assert_array_equal(
+            measured.wire_bytes, np.asarray(wire)[measured.assignment]
+        )
+        # bigger payloads on the same links → strictly slower
+        assert measured.max_wire_latency_s > measured.max_latency_s
+        assert plain.wire_bytes is None
+        with pytest.raises(ValueError, match="no measured wire sizes"):
+            plain.max_wire_latency_s
+
+    def test_wire_sizes_average_strategy_uses_mean(self):
+        sizes = [1e6, 3e6]
+        wire = [2e6, 4e6]
+        traces = self.make_traces([8.0, 8.0])
+        report = round_transmission(
+            sizes, traces, "average", wire_sizes_bytes=wire
+        )
+        np.testing.assert_allclose(report.wire_bytes, [3e6, 3e6])
+        np.testing.assert_allclose(report.wire_latencies_s, [3.0, 3.0])
+
+    def test_wire_sizes_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="wire sizes"):
+            round_transmission(
+                [1.0, 2.0],
+                self.make_traces([1.0, 1.0]),
+                "adaptive",
+                wire_sizes_bytes=[1.0],
+            )
+
 
 @settings(max_examples=25, deadline=None)
 @given(

@@ -292,6 +292,36 @@ class TestEndToEnd:
         assert "Per-round summary" in text
         assert "tau=0" in text
 
+    def test_trace_transport_section(self, run):
+        """``transport.round`` events (socket backend) get a wire-traffic
+        section; runs without them render none."""
+        _, events = run
+        # Without transport.round events (serial/process backends) there
+        # is no section; the $REPRO_BACKEND=socket CI leg produces them.
+        plain = [e for e in events if e.get("event") != "transport.round"]
+        assert "Wire traffic" not in render_trace(summarize_trace(plain))
+
+        synthetic = list(plain) + [
+            {
+                "event": "transport.round",
+                "round": r,
+                "workers_live": 2 - r,
+                "tasks": 3,
+                "failed": r,
+                "bytes_sent": 1000.0 * (r + 1),
+                "bytes_received": 500.0,
+            }
+            for r in range(2)
+        ]
+        summary = summarize_trace(synthetic)
+        assert summary["transport"]["bytes_sent_total"] == 3000.0
+        assert summary["transport"]["tasks_total"] == 6
+        assert summary["transport"]["failed_total"] == 1
+        assert summary["transport"]["min_workers_live"] == 1
+        text = render_trace(summary)
+        assert "Wire traffic" in text
+        assert "kB_sent" in text
+
     def test_trace_cli(self, run, tmp_path, capsys):
         from repro.__main__ import main
 

@@ -1,0 +1,599 @@
+"""Tests for the networked participant runtime (:mod:`repro.transport`).
+
+Four layers under test:
+
+* the frame codec — golden bytes pin the wire format; fuzzed truncation,
+  bit flips, and oversized lengths must raise :class:`ProtocolError`
+  cleanly (never hang a read loop);
+* the message codecs — lossless float64 round-trips, lossy float16,
+  zlib, and the exact :func:`payload_size_bytes` accounting;
+* the worker daemon — an in-thread :class:`WorkerServer` speaking real
+  sockets, surviving garbage connections;
+* the :class:`SocketBackend` — bit-identity with the serial backend,
+  retry/degradation when a worker dies mid-round, reconnect after a
+  kill, and external-daemon mode.
+"""
+
+import os
+import signal
+import socket
+import threading
+import time
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.controller import ArchitecturePolicy
+from repro.data import iid_partition, synth_cifar10
+from repro.federated import (
+    LocalStepTask,
+    Participant,
+    ParticipantSpec,
+    SerialBackend,
+    run_local_step,
+)
+from repro.nn import payload_size_bytes, state_size_bytes
+from repro.nn.serialize import bytes_to_state, state_to_bytes
+from repro.search_space import Supernet, SupernetConfig
+from repro.telemetry import Telemetry
+from repro.transport import (
+    HEADER_BYTES,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    MSG_ACK,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_HEARTBEAT_ACK,
+    MSG_HELLO,
+    MSG_HELLO_ACK,
+    MSG_INIT,
+    MSG_TASK,
+    MSG_UPDATE,
+    PROTOCOL_VERSION,
+    FrameConnection,
+    ProtocolError,
+    SocketBackend,
+    WorkerServer,
+    codec,
+    decode_frame,
+    encode_frame,
+)
+
+TINY = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+def build_participants(num=3, seed=0):
+    rng = np.random.default_rng(seed)
+    train, _ = synth_cifar10(
+        seed=0, train_per_class=12, test_per_class=2, image_size=8
+    )
+    shards = iid_partition(train, num, rng=rng)
+    return [
+        Participant(k, shard, batch_size=8, rng=np.random.default_rng(k))
+        for k, shard in enumerate(shards)
+    ]
+
+
+def make_task(supernet, policy, participant_id=0, seed=7, round_index=0):
+    mask = policy.sample_mask()
+    return LocalStepTask(
+        participant_id=participant_id,
+        round_index=round_index,
+        mask=mask,
+        state=supernet.submodel_state(mask),
+        batch_seed=seed,
+    )
+
+
+@pytest.fixture()
+def worker_thread():
+    """An in-process worker daemon on a real localhost socket."""
+    server = WorkerServer(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.stop()
+    thread.join(timeout=5)
+
+
+def dial(server, timeout=10.0):
+    sock = socket.create_connection((server.host, server.port), timeout=timeout)
+    return FrameConnection(sock)
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+class TestFrameCodec:
+    def test_golden_bytes(self):
+        """Pin the wire format.  If this test breaks, the protocol
+        changed: bump PROTOCOL_VERSION and update the golden bytes."""
+        frame = encode_frame(MSG_HEARTBEAT, b"ping")
+        golden = (
+            b"FM"  # magic
+            + bytes([1])  # protocol version
+            + bytes([0x07])  # MSG_HEARTBEAT
+            + (4).to_bytes(4, "big")  # payload length
+            + zlib.crc32(b"ping").to_bytes(4, "big")
+            + b"ping"
+        )
+        assert frame == golden
+        assert len(frame) == HEADER_BYTES + 4
+        assert MAGIC == b"FM" and PROTOCOL_VERSION == 1
+
+    def test_round_trip(self):
+        for payload in (b"", b"x", os.urandom(1000)):
+            frame = encode_frame(MSG_ACK, payload)
+            msg_type, decoded, consumed = decode_frame(frame + b"trailing")
+            assert msg_type == MSG_ACK
+            assert decoded == payload
+            assert consumed == len(frame)
+
+    def test_unknown_type_and_oversize_rejected_at_encode(self):
+        with pytest.raises(ValueError):
+            encode_frame(0xEE, b"")
+        # an oversized *advertised* length is a decode-side ProtocolError
+        header = bytearray(encode_frame(MSG_ACK, b""))
+        header[4:8] = (MAX_PAYLOAD_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(bytes(header))
+
+    def test_truncation_always_raises(self):
+        frame = encode_frame(MSG_TASK, b"some payload bytes")
+        for cut in range(len(frame)):
+            with pytest.raises(ProtocolError, match="truncated"):
+                decode_frame(frame[:cut])
+
+    def test_bit_flips_always_raise_or_change_payload(self):
+        """Flip every bit of a frame: decoding must either raise
+        ProtocolError or (for flips inside the payload that collide...
+        they can't: CRC covers the payload) — so: always raises, except
+        flips that only touch the trailing-garbage region (none here)."""
+        frame = encode_frame(MSG_HELLO, b"hello payload")
+        for byte_index in range(len(frame)):
+            for bit in range(8):
+                corrupted = bytearray(frame)
+                corrupted[byte_index] ^= 1 << bit
+                corrupted = bytes(corrupted)
+                if corrupted == frame:
+                    continue
+                try:
+                    msg_type, payload, _ = decode_frame(corrupted)
+                except ProtocolError:
+                    continue
+                # A flip of the msg_type byte can land on another valid
+                # type with the same payload — CRC still holds then.
+                assert payload == b"hello payload"
+                assert msg_type != MSG_HELLO
+
+    def test_fuzz_garbage_never_hangs(self):
+        rng = np.random.default_rng(0)
+        for size in (0, 1, HEADER_BYTES - 1, HEADER_BYTES, 64, 1024):
+            blob = rng.bytes(size)
+            try:
+                decode_frame(blob)
+            except ProtocolError:
+                pass  # the only acceptable failure mode
+
+    def test_wrong_version_rejected(self):
+        frame = bytearray(encode_frame(MSG_ACK, b""))
+        frame[2] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(frame))
+
+
+# ----------------------------------------------------------------------
+# Message codecs
+# ----------------------------------------------------------------------
+class TestMessageCodecs:
+    def setup_method(self):
+        rng = np.random.default_rng(11)
+        self.supernet = Supernet(TINY, rng=rng)
+        self.policy = ArchitecturePolicy(TINY.num_edges, rng=rng)
+
+    def test_hello_round_trip_and_validation(self):
+        hello = codec.decode_hello(codec.encode_hello("zlib", "float32"))
+        assert hello["compression"] == "zlib"
+        assert hello["wire_dtype"] == "float32"
+        with pytest.raises(ValueError):
+            codec.encode_hello("lz4")
+        with pytest.raises(ProtocolError):
+            codec.decode_hello(codec.encode_json({"version": 99}))
+        with pytest.raises(ProtocolError):
+            codec.decode_json(b"\xff\xfe not json")
+
+    def test_task_round_trip_is_lossless_at_float64(self):
+        task = make_task(self.supernet, self.policy, participant_id=2, seed=5)
+        for compression in ("none", "zlib"):
+            payload = codec.encode_task(
+                task, 42, compression=compression, wire_dtype="float64"
+            )
+            decoded, seq = codec.decode_task(payload)
+            assert seq == 42
+            assert decoded.participant_id == 2
+            assert decoded.batch_seed == 5
+            assert decoded.mask == task.mask
+            assert set(decoded.state) == set(task.state)
+            for name in task.state:
+                np.testing.assert_array_equal(
+                    decoded.state[name], task.state[name], err_msg=name
+                )
+
+    def test_float16_wire_precision_is_lossy(self):
+        task = make_task(self.supernet, self.policy)
+        payload = codec.encode_task(task, 0, wire_dtype="float16")
+        decoded, _ = codec.decode_task(payload)
+        assert any(
+            not np.array_equal(decoded.state[n], task.state[n])
+            for n in task.state
+        )
+        # ...but close: it's a precision cut, not corruption.
+        for name in task.state:
+            np.testing.assert_allclose(
+                decoded.state[name], task.state[name], atol=1e-2, rtol=1e-2
+            )
+
+    def test_update_round_trip_is_lossless_at_float64(self):
+        participants = build_participants()
+        task = make_task(self.supernet, self.policy, participant_id=0)
+        update = run_local_step(task, participants[0].dataset, 8, TINY)
+        payload = codec.encode_update(update, 7, wire_dtype="float64")
+        decoded, seq = codec.decode_update(payload)
+        assert seq == 7
+        assert decoded.reward == update.reward  # JSON floats round-trip
+        assert decoded.num_samples == update.num_samples
+        assert set(decoded.gradients) == set(update.gradients)
+        assert set(decoded.buffers) == set(update.buffers)
+        for name in update.gradients:
+            np.testing.assert_array_equal(
+                decoded.gradients[name], update.gradients[name], err_msg=name
+            )
+        for name in update.buffers:
+            np.testing.assert_array_equal(
+                decoded.buffers[name], update.buffers[name], err_msg=name
+            )
+
+    def test_malformed_tensor_payloads_raise_protocol_error(self):
+        task = make_task(self.supernet, self.policy)
+        payload = codec.encode_task(task, 0)
+        for bad in (
+            b"",  # shorter than the preamble
+            b"\x80" + payload[1:],  # unknown flags
+            payload[: len(payload) // 2],  # truncated blob
+            payload[:5] + b"{not json" + payload[5:],  # garbage meta
+        ):
+            with pytest.raises(ProtocolError):
+                codec.decode_task(bad)
+        # meta missing required keys
+        with pytest.raises(ProtocolError, match="missing"):
+            codec.decode_update(payload)  # task meta lacks update keys
+
+    def test_init_round_trip_and_type_check(self):
+        specs = [
+            ParticipantSpec.from_participant(p) for p in build_participants()
+        ]
+        decoded_specs, config = codec.decode_init(codec.encode_init(specs, TINY))
+        assert [s.participant_id for s in decoded_specs] == [0, 1, 2]
+        assert config == TINY
+        with pytest.raises(ProtocolError):
+            codec.decode_init(b"not a pickle")
+        import pickle
+
+        with pytest.raises(ProtocolError, match="unexpected object types"):
+            codec.decode_init(
+                pickle.dumps({"specs": ["nope"], "supernet_config": TINY})
+            )
+
+
+class TestPayloadSizes:
+    def test_exact_vs_analytic(self):
+        """Satellite 1: the npz container costs real bytes beyond the
+        4-bytes/scalar analytic model, and compression shrinks it."""
+        rng = np.random.default_rng(3)
+        supernet = Supernet(TINY, rng=rng)
+        policy = ArchitecturePolicy(TINY.num_edges, rng=rng)
+        state = supernet.submodel_state(policy.sample_mask())
+
+        analytic = state_size_bytes(state)
+        exact32 = payload_size_bytes(state, dtype="float32")
+        exact64 = payload_size_bytes(state, dtype="float64")
+        exact_z = payload_size_bytes(state, compressed=True, dtype="float64")
+
+        assert exact32 > analytic  # container overhead is real
+        assert exact64 > exact32  # double precision, double array bytes
+        assert exact_z < exact64  # zlib helps
+        # and the number is *exact*: it equals the bytes actually built
+        assert exact64 == len(state_to_bytes(state, dtype="float64"))
+        assert exact_z == len(
+            state_to_bytes(state, dtype="float64", compress=True)
+        )
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        supernet = Supernet(TINY, rng=rng)
+        policy = ArchitecturePolicy(TINY.num_edges, rng=rng)
+        state = supernet.submodel_state(policy.sample_mask())
+        sizes = {payload_size_bytes(state, dtype="float64") for _ in range(3)}
+        assert len(sizes) == 1
+
+    def test_round_trip_through_bytes(self):
+        state = {"w": np.arange(6, dtype=np.float64).reshape(2, 3)}
+        blob = state_to_bytes(state, dtype="float64", compress=True)
+        back = bytes_to_state(blob, compressed=True)
+        np.testing.assert_array_equal(back["w"], state["w"])
+        with pytest.raises(ValueError):
+            bytes_to_state(b"garbage", compressed=True)
+
+
+# ----------------------------------------------------------------------
+# Worker daemon (in-thread, real sockets)
+# ----------------------------------------------------------------------
+class TestWorkerServer:
+    def register(self, conn, compression="none", wire_dtype="float64"):
+        msg, payload = conn.request(
+            MSG_HELLO, codec.encode_hello(compression, wire_dtype), timeout=10
+        )
+        assert msg == MSG_HELLO_ACK
+        specs = [
+            ParticipantSpec.from_participant(p) for p in build_participants()
+        ]
+        msg, _ = conn.request(
+            MSG_INIT, codec.encode_init(specs, TINY), timeout=10
+        )
+        assert msg == MSG_ACK
+
+    def test_hello_heartbeat_task(self, worker_thread):
+        conn = dial(worker_thread)
+        try:
+            self.register(conn)
+            msg, payload = conn.request(MSG_HEARTBEAT, b"tick", timeout=10)
+            assert msg == MSG_HEARTBEAT_ACK and payload == b"tick"
+
+            rng = np.random.default_rng(0)
+            supernet = Supernet(TINY, rng=rng)
+            policy = ArchitecturePolicy(TINY.num_edges, rng=rng)
+            task = make_task(supernet, policy, participant_id=1, seed=9)
+            msg, payload = conn.request(
+                MSG_TASK, codec.encode_task(task, 5), timeout=30
+            )
+            assert msg == MSG_UPDATE
+            update, seq = codec.decode_update(payload)
+            assert seq == 5 and update.participant_id == 1
+
+            # bit-identical to the same step computed locally
+            participants = build_participants()
+            local = run_local_step(task, participants[1].dataset, 8, TINY)
+            assert update.reward == local.reward
+            for name in local.gradients:
+                np.testing.assert_array_equal(
+                    update.gradients[name], local.gradients[name], err_msg=name
+                )
+        finally:
+            conn.close()
+
+    def test_garbage_connection_does_not_kill_daemon(self, worker_thread):
+        # Connection 1: pure garbage → daemon drops it and survives.
+        sock = socket.create_connection(
+            (worker_thread.host, worker_thread.port), timeout=5
+        )
+        sock.sendall(b"\x00" * 64)
+        sock.close()
+        # Connection 2: a valid session still works.
+        conn = dial(worker_thread)
+        try:
+            msg, _ = conn.request(
+                MSG_HELLO, codec.encode_hello(), timeout=10
+            )
+            assert msg == MSG_HELLO_ACK
+        finally:
+            conn.close()
+
+    def test_task_before_init_returns_error_frame(self, worker_thread):
+        conn = dial(worker_thread)
+        try:
+            rng = np.random.default_rng(0)
+            supernet = Supernet(TINY, rng=rng)
+            policy = ArchitecturePolicy(TINY.num_edges, rng=rng)
+            task = make_task(supernet, policy)
+            msg, payload = conn.request(
+                MSG_TASK, codec.encode_task(task, 1), timeout=10
+            )
+            assert msg == MSG_ERROR
+            seq, error = codec.decode_error(payload)
+            assert seq == 1 and "no spec" in error
+        finally:
+            conn.close()
+
+    def test_idle_timeout_exits(self):
+        server = WorkerServer(port=0, idle_timeout_s=0.2)
+        start = time.monotonic()
+        assert server.serve_forever() == 0
+        assert time.monotonic() - start < 5
+
+
+# ----------------------------------------------------------------------
+# SocketBackend end to end
+# ----------------------------------------------------------------------
+class TestSocketBackend:
+    def run_round_tasks(self, backend, seed=0, round_index=0):
+        rng = np.random.default_rng(seed)
+        supernet = Supernet(TINY, rng=rng)
+        policy = ArchitecturePolicy(TINY.num_edges, rng=rng)
+        return [
+            make_task(
+                supernet, policy, participant_id=k, seed=seed + k,
+                round_index=round_index,
+            )
+            for k in range(3)
+        ]
+
+    def test_bit_identical_to_serial(self):
+        participants = build_participants()
+        tasks = self.run_round_tasks(None, seed=4)
+        serial = SerialBackend(participants, TINY)
+        backend = SocketBackend(
+            participants, TINY, num_workers=2, task_timeout_s=60.0
+        )
+        try:
+            expected = serial.run_tasks(tasks)
+            actual = backend.run_tasks(tasks)
+        finally:
+            backend.close()
+        for a, b in zip(expected, actual):
+            assert a.participant_id == b.participant_id
+            assert a.ok and b.ok
+            assert a.update.reward == b.update.reward
+            for name in a.update.gradients:
+                np.testing.assert_array_equal(
+                    a.update.gradients[name],
+                    b.update.gradients[name],
+                    err_msg=name,
+                )
+
+    def test_results_in_task_order_and_reusable_after_close(self):
+        participants = build_participants()
+        backend = SocketBackend(
+            participants, TINY, num_workers=2, task_timeout_s=60.0
+        )
+        tasks = self.run_round_tasks(None, seed=1)
+        try:
+            first = backend.run_tasks(tasks)
+            backend.close()  # lazily respawns on next use
+            second = backend.run_tasks(tasks)
+        finally:
+            backend.close()
+        assert [r.participant_id for r in first] == [0, 1, 2]
+        assert all(r.ok for r in first) and all(r.ok for r in second)
+        np.testing.assert_array_equal(
+            first[0].update.gradients[next(iter(first[0].update.gradients))],
+            second[0].update.gradients[next(iter(second[0].update.gradients))],
+        )
+
+    def test_killed_worker_degrades_not_deadlocks(self):
+        """ISSUE 4 acceptance: kill -9 one worker mid-round → the round
+        completes (some tasks possibly degraded), the next round heals
+        via respawn.  Bounded by task_timeout_s, so no deadlock."""
+        telemetry = Telemetry()
+        participants = build_participants()
+        backend = SocketBackend(
+            participants,
+            TINY,
+            num_workers=2,
+            task_timeout_s=15.0,
+            max_retries=1,
+            telemetry=telemetry,
+        )
+        try:
+            warm = backend.run_tasks(self.run_round_tasks(None, seed=2))
+            assert all(r.ok for r in warm)
+
+            victim = next(e for e in backend._endpoints if e.proc is not None)
+            os.kill(victim.proc.pid, signal.SIGKILL)
+            victim.proc.wait(timeout=10)
+
+            start = time.monotonic()
+            results = backend.run_tasks(
+                self.run_round_tasks(None, seed=3, round_index=1)
+            )
+            elapsed = time.monotonic() - start
+            assert elapsed < 60  # bounded, not deadlocked
+            assert len(results) == 3
+            # With a surviving replica + 1 retry every task still lands.
+            assert all(r.ok for r in results)
+
+            # Round 3: the dead daemon was respawned and serves again.
+            healed = backend.run_tasks(
+                self.run_round_tasks(None, seed=4, round_index=2)
+            )
+            assert all(r.ok for r in healed)
+            assert all(e.alive for e in backend._endpoints)
+        finally:
+            backend.close()
+        events = {e["event"] for e in telemetry.events()}
+        assert "transport.worker_respawned" in events or (
+            "transport.worker_lost" in events
+        )
+
+    def test_external_workers_stay_running_after_close(self):
+        server = WorkerServer(port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        participants = build_participants()
+        backend = SocketBackend(
+            participants,
+            TINY,
+            workers=[f"{server.host}:{server.port}"],
+            task_timeout_s=60.0,
+        )
+        try:
+            results = backend.run_tasks(self.run_round_tasks(None, seed=5))
+            assert all(r.ok for r in results)
+        finally:
+            backend.close()
+        # close() must NOT shut an external daemon down
+        conn = dial(server)
+        try:
+            msg, _ = conn.request(MSG_HELLO, codec.encode_hello(), timeout=10)
+            assert msg == MSG_HELLO_ACK
+        finally:
+            conn.close()
+            server.stop()
+            thread.join(timeout=5)
+
+    def test_zlib_float64_still_bit_identical(self):
+        participants = build_participants()
+        tasks = self.run_round_tasks(None, seed=6)
+        serial = SerialBackend(participants, TINY)
+        backend = SocketBackend(
+            participants,
+            TINY,
+            num_workers=1,
+            task_timeout_s=60.0,
+            compression="zlib",
+            wire_dtype="float64",
+        )
+        try:
+            expected = serial.run_tasks(tasks)
+            actual = backend.run_tasks(tasks)
+        finally:
+            backend.close()
+        for a, b in zip(expected, actual):
+            assert a.update.reward == b.update.reward
+
+    def test_wire_telemetry_emitted(self):
+        telemetry = Telemetry()
+        participants = build_participants()
+        backend = SocketBackend(
+            participants,
+            TINY,
+            num_workers=1,
+            task_timeout_s=60.0,
+            telemetry=telemetry,
+        )
+        try:
+            backend.run_tasks(self.run_round_tasks(None, seed=7))
+        finally:
+            backend.close()
+        snapshot = telemetry.metrics_snapshot()
+        assert snapshot.get("transport.bytes_sent", {}).get("value", 0) > 0
+        assert snapshot.get("transport.bytes_received", {}).get("value", 0) > 0
+        assert "transport.task_rtt_s" in snapshot
+        rounds = [
+            e for e in telemetry.events() if e["event"] == "transport.round"
+        ]
+        assert rounds and rounds[0]["bytes_sent"] > 0
+        assert rounds[0]["tasks"] == 3
+
+    def test_validation(self):
+        participants = build_participants()
+        with pytest.raises(ValueError):
+            SocketBackend(participants, TINY, task_timeout_s=0)
+        with pytest.raises(ValueError):
+            SocketBackend(participants, TINY, max_retries=-1)
+        with pytest.raises(ValueError):
+            SocketBackend(participants, TINY, compression="lz4")
+        with pytest.raises(ValueError):
+            SocketBackend(participants, TINY, wire_dtype="int8")
+        with pytest.raises(ValueError):
+            SocketBackend(participants, TINY, workers=["no-port"])
