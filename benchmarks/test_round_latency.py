@@ -1,0 +1,187 @@
+"""Round-loop hot path: delta dispatch vs full dispatch (ISSUE 5).
+
+Two claims under measurement, both on the default bench supernet with
+8 participants:
+
+* **wire bytes** — on the socket backend, steady-state per-round bytes
+  sent with delta dispatch are at least 2x below full dispatch: after
+  the first (cold-cache) round the server ships only parameters whose
+  version moved, and each round only the ~1/N sampled slice moves;
+* **serial wall time** — the versioned-parameter bookkeeping (version
+  subsets on every task, CoW pool snapshots) must not slow the serial
+  reference loop, whether the delta flag is on or off.
+
+Results go to ``benchmarks/results/round_latency.txt`` and, machine
+readable, ``BENCH_round_latency.json`` at the repo root.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import run_once, save_result
+
+from harness import BENCH_NET, bench_dataset, bench_shards
+from repro.controller import ArchitecturePolicy
+from repro.federated import FederatedSearchServer, Participant, build_backend
+from repro.search_space import Supernet
+from repro.telemetry import Telemetry
+
+PARTICIPANTS = 8
+WORKERS = 2
+ROUNDS = 6
+#: rounds treated as steady state (round 1 pays worker spawn,
+#: registration, and the cold-cache full sync)
+STEADY_FROM = 1
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_round_latency.json"
+
+
+def build_server(backend_name, delta, telemetry=None):
+    rng = np.random.default_rng(0)
+    train, _ = bench_dataset(train_per_class=20)
+    shards = bench_shards(train, PARTICIPANTS, seed=0)
+    participants = [
+        Participant(k, shard, batch_size=16, rng=np.random.default_rng(100 + k))
+        for k, shard in enumerate(shards)
+    ]
+    backend = build_backend(
+        backend_name,
+        participants,
+        BENCH_NET,
+        num_workers=WORKERS,
+        telemetry=telemetry,
+        delta_dispatch=delta,
+    )
+    return FederatedSearchServer(
+        Supernet(BENCH_NET, rng=rng),
+        ArchitecturePolicy(BENCH_NET.num_edges, rng=rng),
+        participants,
+        rng=rng,
+        backend=backend,
+        telemetry=telemetry,
+    )
+
+
+def timed_socket_run(delta):
+    """One seeded socket search; returns per-round wall times, per-round
+    wire bytes (from ``transport.round``), and the final alpha."""
+    telemetry = Telemetry()
+    server = build_server("socket", delta, telemetry=telemetry)
+    round_wall = []
+    try:
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            server.run(1)
+            round_wall.append(time.perf_counter() - start)
+    finally:
+        server.backend.close()
+    round_bytes = [
+        float(e["bytes_sent"])
+        for e in telemetry.events()
+        if e["event"] == "transport.round"
+    ]
+    assert len(round_bytes) == ROUNDS
+    return round_wall, round_bytes, server.policy.alpha.copy()
+
+
+def timed_serial_run(delta):
+    server = build_server("serial", delta)
+    start = time.perf_counter()
+    try:
+        server.run(ROUNDS)
+    finally:
+        server.backend.close()
+    return (time.perf_counter() - start) / ROUNDS, server.policy.alpha.copy()
+
+
+def test_round_latency(benchmark):
+    def reproduce():
+        full_wall, full_bytes, full_alpha = timed_socket_run(delta=False)
+        delta_wall, delta_bytes, delta_alpha = timed_socket_run(delta=True)
+        serial_off_s, serial_off_alpha = timed_serial_run(delta=False)
+        serial_on_s, serial_on_alpha = timed_serial_run(delta=True)
+        return (
+            full_wall, full_bytes, full_alpha,
+            delta_wall, delta_bytes, delta_alpha,
+            serial_off_s, serial_off_alpha, serial_on_s, serial_on_alpha,
+        )
+
+    (
+        full_wall, full_bytes, full_alpha,
+        delta_wall, delta_bytes, delta_alpha,
+        serial_off_s, serial_off_alpha, serial_on_s, serial_on_alpha,
+    ) = run_once(benchmark, reproduce)
+
+    steady_full = float(np.mean(full_bytes[STEADY_FROM:]))
+    steady_delta = float(np.mean(delta_bytes[STEADY_FROM:]))
+    reduction = steady_full / steady_delta
+    serial_ratio = serial_on_s / serial_off_s
+
+    lines = [
+        f"Round latency & wire bytes: {PARTICIPANTS} participants, "
+        f"{ROUNDS} rounds, socket backend ({WORKERS} workers), "
+        f"steady state = rounds {STEADY_FROM + 1}..{ROUNDS}",
+        f"(host cpu_count={os.cpu_count()})",
+        "",
+        f"{'round':>5} {'full kB':>12} {'delta kB':>12} "
+        f"{'full s':>8} {'delta s':>8}",
+    ]
+    for r in range(ROUNDS):
+        lines.append(
+            f"{r:>5} {full_bytes[r] / 1e3:>12.1f} {delta_bytes[r] / 1e3:>12.1f} "
+            f"{full_wall[r]:>8.2f} {delta_wall[r]:>8.2f}"
+        )
+    lines += [
+        "",
+        f"steady-state bytes/round: full={steady_full / 1e3:.1f} kB, "
+        f"delta={steady_delta / 1e3:.1f} kB  ->  {reduction:.2f}x reduction",
+        f"serial s/round: delta-off={serial_off_s:.3f}, "
+        f"delta-on={serial_on_s:.3f} (ratio {serial_ratio:.2f})",
+    ]
+    save_result("round_latency", lines)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "participants": PARTICIPANTS,
+                "rounds": ROUNDS,
+                "workers": WORKERS,
+                "steady_state_from_round": STEADY_FROM,
+                "socket": {
+                    "full_bytes_per_round": full_bytes,
+                    "delta_bytes_per_round": delta_bytes,
+                    "full_wall_per_round_s": full_wall,
+                    "delta_wall_per_round_s": delta_wall,
+                    "steady_state_bytes_full": steady_full,
+                    "steady_state_bytes_delta": steady_delta,
+                    "bytes_reduction_factor": reduction,
+                },
+                "serial": {
+                    "delta_off_s_per_round": serial_off_s,
+                    "delta_on_s_per_round": serial_on_s,
+                    "ratio": serial_ratio,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # ISSUE 5 acceptance: >= 2x steady-state byte reduction on the wire.
+    assert reduction >= 2.0, (
+        f"delta dispatch must at least halve steady-state bytes/round, "
+        f"got {reduction:.2f}x ({steady_full:.0f} -> {steady_delta:.0f})"
+    )
+    # ... with no wall-time regression on the serial reference loop
+    # (generous tolerance: these are sub-second timings on shared CI).
+    assert serial_ratio < 1.35, (
+        f"serial per-round wall time regressed with delta config on: "
+        f"{serial_off_s:.3f}s -> {serial_on_s:.3f}s"
+    )
+    # ... and an unchanged search: trajectories bit-identical throughout.
+    np.testing.assert_array_equal(full_alpha, delta_alpha)
+    np.testing.assert_array_equal(full_alpha, serial_off_alpha)
+    np.testing.assert_array_equal(serial_off_alpha, serial_on_alpha)

@@ -63,6 +63,7 @@ def main() -> None:
         backend="socket",
         socket_workers=addresses,
         measure_wire_bytes=True,  # exact npz sizes alongside Fig. 7 estimate
+        delta_dispatch=True,  # ship only changed params after round 1
     )
     pipeline = FederatedModelSearch(config)
     print(f"\nsearching over {addresses} (backend={pipeline.backend.name}) ...")
@@ -96,6 +97,22 @@ def main() -> None:
             f"(exact npz size; analytic estimate "
             f"{report.mean_submodel_bytes / 1e3:.1f} kB)"
         )
+
+    # ------------------------------------------------------------------
+    # Delta dispatch: how much of the dispatched state the worker-side
+    # caches absorbed (full syncs are first contact / resync rounds).
+    # ------------------------------------------------------------------
+    shipped = int(metrics.get("dispatch.delta_params", {}).get("value", 0))
+    cached = int(metrics.get("dispatch.cached_params", {}).get("value", 0))
+    full_syncs = int(metrics.get("dispatch.full_syncs", {}).get("value", 0))
+    misses = int(metrics.get("dispatch.cache_misses", {}).get("value", 0))
+    total = shipped + cached
+    if total:
+        print("\ndelta dispatch:")
+        print(f"  params shipped: {shipped:,} of {total:,} dispatched")
+        print(f"  served from worker caches: {cached:,} "
+              f"({100.0 * cached / total:.1f}% cache hit)")
+        print(f"  full syncs: {full_syncs}, cache misses: {misses}")
 
     # ------------------------------------------------------------------
     # The daemons are still alive — close() never shuts down workers it

@@ -125,6 +125,13 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPars
         "lossless and preserves bit-identical results (default: float64)",
     )
     parser.add_argument(
+        "--delta-dispatch", action="store_true",
+        help="versioned delta dispatch for --backend process|socket: "
+        "workers cache parameters by version and only changes ship "
+        "(default: $REPRO_DELTA_DISPATCH; results are bit-identical "
+        "either way)",
+    )
+    parser.add_argument(
         "--measure-wire", action="store_true",
         help="measure exact on-wire payload sizes each round and report "
         "them through telemetry (alongside the analytic Fig. 7 estimate)",
@@ -290,6 +297,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["socket_compression"] = args.wire_compression
     if getattr(args, "wire_dtype", None) is not None:
         overrides["socket_wire_dtype"] = args.wire_dtype
+    if getattr(args, "delta_dispatch", False):
+        overrides["delta_dispatch"] = True
     if getattr(args, "measure_wire", False):
         overrides["measure_wire_bytes"] = True
     if getattr(args, "telemetry_log", None):

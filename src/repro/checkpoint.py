@@ -386,6 +386,16 @@ def restore_search_state(
             server_has_injector=server.fault_injector is not None,
         )
 
+    # --- delta-dispatch invalidation ----------------------------------
+    # A restored server is a *new* timeline: any parameter version a
+    # worker cached against the pre-crash server must never satisfy a
+    # delta reference.  Bumping every version forces the first dispatch
+    # after resume to ship full state (correctness never depends on
+    # cache warmth).
+    versions = getattr(server, "versions", None)
+    if versions is not None:
+        versions.bump_all()
+
     if server.telemetry.enabled:
         server.telemetry.count("checkpoint.restores")
         server.telemetry.emit(

@@ -41,6 +41,18 @@ def _default_backend() -> str:
     """
     return os.environ.get("REPRO_BACKEND", "serial")
 
+
+def _default_delta_dispatch() -> bool:
+    """Delta-dispatch default: ``$REPRO_DELTA_DISPATCH`` when set.
+
+    Same contract as :func:`_default_backend` — the environment hook
+    flips a whole test/CI run to delta dispatch without touching call
+    sites; an explicit ``delta_dispatch=`` argument always wins.
+    """
+    return os.environ.get("REPRO_DELTA_DISPATCH", "").lower() in (
+        "1", "true", "yes", "on"
+    )
+
 #: Verbatim Table I values (name -> value), kept as a reference artefact
 #: that the Table I bench prints and the paper() profile is built from.
 TABLE1_DEFAULTS = {
@@ -193,6 +205,14 @@ class ExperimentConfig:
     #: failed and its participant goes offline for the round (the socket
     #: backend retries on a different replica when one is live)
     task_retries: int = 1
+    #: versioned-parameter delta dispatch (process/socket backends):
+    #: workers cache parameters by ``(name, version)`` and the server
+    #: ships only what changed since the worker's last acknowledgement.
+    #: Seeded results are bit-identical with this on or off — a cold or
+    #: lost cache always falls back to a full send.
+    delta_dispatch: bool = dataclasses.field(
+        default_factory=_default_delta_dispatch
+    )
 
     # Socket-backend wire options (ignored by other backends).
     #: worker daemon addresses ("host:port"); None auto-spawns

@@ -115,6 +115,7 @@ class FederatedModelSearch:
             socket_workers=config.socket_workers,
             socket_compression=config.socket_compression,
             socket_wire_dtype=config.socket_wire_dtype,
+            delta_dispatch=config.delta_dispatch,
         )
         self.fault_injector: Optional[FaultInjector] = None
         if config.fault_plan_path:

@@ -23,6 +23,12 @@ from .participant import (
 )
 from .server import FederatedSearchServer, RoundResult, SearchServerConfig
 from .validation import QuarantineTracker, UpdateValidator
+from .versioning import (
+    DeltaCacheMiss,
+    ParameterVersions,
+    resolve_task,
+    split_delta,
+)
 from .synchronization import (
     DistributionDelay,
     HardSync,
@@ -55,6 +61,10 @@ __all__ = [
     "SearchServerConfig",
     "QuarantineTracker",
     "UpdateValidator",
+    "DeltaCacheMiss",
+    "ParameterVersions",
+    "resolve_task",
+    "split_delta",
     "DistributionDelay",
     "HardSync",
     "LatencyDrivenDelay",

@@ -51,6 +51,7 @@ from .participant import (
     ParticipantUpdate,
     run_local_step,
 )
+from .versioning import DeltaCacheMiss, resolve_task, split_delta
 
 __all__ = [
     "BACKENDS",
@@ -207,9 +208,30 @@ def _init_worker(
     _WORKER_STATE["specs"] = {spec.participant_id: spec for spec in specs}
     _WORKER_STATE["supernet_config"] = supernet_config
     _WORKER_STATE["fault_hook"] = fault_hook
+    # (name -> (version, array)) delta-dispatch cache; starts cold in
+    # every fresh worker process, so stale entries cannot survive a
+    # pool teardown or worker replacement.
+    _WORKER_STATE["param_cache"] = {}
 
 
-def _run_task(task: LocalStepTask) -> Tuple[ParticipantUpdate, float]:
+#: first element of a worker reply that could not resolve its delta refs
+_CACHE_MISS = "__delta_cache_miss__"
+
+
+def _run_task(task: LocalStepTask):
+    """Worker-side task execution.
+
+    Returns ``(update, compute_wall, pid)`` on success, or
+    ``(_CACHE_MISS, missing_names, pid)`` when the task referenced cached
+    parameters this worker does not hold — the coordinator then re-sends
+    the task in full (a full task can never miss).
+    """
+    pid = os.getpid()
+    if task.state_versions is not None or task.state_refs:
+        try:
+            task = resolve_task(task, _WORKER_STATE.setdefault("param_cache", {}))
+        except DeltaCacheMiss as miss:
+            return _CACHE_MISS, miss.missing, pid
     hook = _WORKER_STATE.get("fault_hook")
     if hook is not None:
         hook(task)
@@ -224,7 +246,7 @@ def _run_task(task: LocalStepTask) -> Tuple[ParticipantUpdate, float]:
         transform=spec.transform,
         device=spec.device,
     )
-    return update, time.perf_counter() - start
+    return update, time.perf_counter() - start, pid
 
 
 class ProcessPoolBackend:
@@ -252,6 +274,16 @@ class ProcessPoolBackend:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheap, inherits the parent's loaded modules) else
         ``spawn``.
+    delta_dispatch:
+        Ship only parameters some worker has not acknowledged at their
+        current version; workers keep a persistent ``(name, version)``
+        cache (see :mod:`repro.federated.versioning`).  Because a pool
+        cannot target a specific worker, a parameter is referenced
+        instead of shipped only once **every** known worker pid has
+        acknowledged its exact current version; anything less travels in
+        full.  A cache miss (e.g. a replaced worker) triggers a full
+        re-send that does not consume the retry budget.  Off by default;
+        results are bit-identical either way.
 
     The pool is created lazily on first use and torn down by
     :meth:`close`; a closed backend transparently re-creates its pool if
@@ -272,6 +304,7 @@ class ProcessPoolBackend:
         telemetry: Optional[Telemetry] = None,
         fault_hook: Optional[Callable[[LocalStepTask], None]] = None,
         start_method: Optional[str] = None,
+        delta_dispatch: bool = False,
     ):
         if task_timeout_s <= 0:
             raise ValueError(f"task_timeout_s must be positive, got {task_timeout_s}")
@@ -301,6 +334,12 @@ class ProcessPoolBackend:
             )
         self._ctx = mp.get_context(start_method)
         self._pool: Optional[mp.pool.Pool] = None
+        self.delta_dispatch = bool(delta_dispatch)
+        #: worker pid → name → last acknowledged version
+        self._acked: Dict[int, Dict[str, int]] = {}
+        #: worker pid → last dispatch round it replied in (for pruning)
+        self._pid_last_seen: Dict[int, int] = {}
+        self._dispatch_round = 0
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> "mp.pool.Pool":
@@ -315,8 +354,13 @@ class ProcessPoolBackend:
     def run_tasks(self, tasks: Sequence[LocalStepTask]) -> List[TaskResult]:
         pool = self._ensure_pool()
         telemetry = self.telemetry
+        stats = {"sent": 0, "cached": 0, "full_syncs": 0, "cache_misses": 0}
+        if self.delta_dispatch:
+            self._dispatch_round += 1
+            self._prune_acks()
         submissions = []
         for task in tasks:
+            wire_task = self._encode_for_dispatch(task, stats)
             if telemetry.enabled:
                 telemetry.emit(
                     "executor.dispatch",
@@ -325,26 +369,124 @@ class ProcessPoolBackend:
                     participant=task.participant_id,
                 )
             submissions.append(
-                (pool.apply_async(_run_task, (task,)), time.perf_counter())
+                (wire_task, pool.apply_async(_run_task, (wire_task,)), time.perf_counter())
             )
         if telemetry.enabled:
             telemetry.gauge("executor.inflight", len(tasks))
 
         results: List[TaskResult] = []
         for position, task in enumerate(tasks):
-            handle, submitted_at = submissions[position]
-            results.append(self._collect(task, handle, submitted_at))
+            wire_task, handle, submitted_at = submissions[position]
+            results.append(self._collect(task, wire_task, handle, submitted_at, stats))
             if telemetry.enabled:
                 telemetry.gauge("executor.inflight", len(tasks) - position - 1)
+        if self.delta_dispatch and telemetry.enabled and tasks:
+            total = stats["sent"] + stats["cached"]
+            telemetry.count("dispatch.delta_params", stats["sent"])
+            telemetry.count("dispatch.cached_params", stats["cached"])
+            telemetry.count("dispatch.full_syncs", stats["full_syncs"])
+            telemetry.count("dispatch.cache_misses", stats["cache_misses"])
+            telemetry.emit(
+                "dispatch.round",
+                backend=self.name,
+                round=tasks[0].round_index,
+                tasks=len(tasks),
+                params_sent=stats["sent"],
+                params_cached=stats["cached"],
+                full_syncs=stats["full_syncs"],
+                cache_misses=stats["cache_misses"],
+                cache_hit=stats["cached"] / total if total else 0.0,
+            )
         return results
 
-    def _collect(self, task: LocalStepTask, handle, submitted_at: float) -> TaskResult:
+    def _encode_for_dispatch(
+        self, task: LocalStepTask, stats: Dict[str, int]
+    ) -> LocalStepTask:
+        """Delta-encode ``task`` against the workers' acknowledged versions.
+
+        The pool cannot target a worker, so a parameter may only be
+        referenced when *every* known pid acknowledged its exact current
+        version (and at least ``num_workers`` pids are known at all).
+        """
+        if not self.delta_dispatch or task.state_versions is None:
+            if task.state_versions is None and not task.state_refs:
+                return task
+            # Delta off: strip the version metadata so workers skip cache
+            # bookkeeping entirely and wire pickles stay minimal.
+            return dataclasses.replace(task, state_versions=None, state_refs=None)
+        acked_maps = list(self._acked.values())
+        if len(acked_maps) < self.num_workers:
+            shared: Dict[str, int] = {}
+        else:
+            shared = dict(acked_maps[0])
+            for other in acked_maps[1:]:
+                shared = {
+                    name: version
+                    for name, version in shared.items()
+                    if other.get(name) == version
+                }
+        delta, refs = split_delta(task.state, task.state_versions, shared)
+        stats["sent"] += len(delta)
+        stats["cached"] += len(refs)
+        if not refs:
+            stats["full_syncs"] += 1
+            return task
+        return dataclasses.replace(task, state=delta, state_refs=refs)
+
+    def _prune_acks(self) -> None:
+        """Forget pids that stopped replying (replaced pool workers)."""
+        horizon = self._dispatch_round - 3
+        for pid in [p for p, seen in self._pid_last_seen.items() if seen <= horizon]:
+            self._acked.pop(pid, None)
+            self._pid_last_seen.pop(pid, None)
+
+    def _record_ack(self, pid: int, task: LocalStepTask) -> None:
+        if self.delta_dispatch and task.state_versions is not None:
+            # After a successful step the worker's cache holds *every*
+            # name in the task at its dispatched version (shipped entries
+            # were cached, referenced entries were verified present).
+            self._acked.setdefault(pid, {}).update(task.state_versions)
+            self._pid_last_seen[pid] = self._dispatch_round
+
+    def _collect(
+        self,
+        task: LocalStepTask,
+        wire_task: LocalStepTask,
+        handle,
+        submitted_at: float,
+        stats: Dict[str, int],
+    ) -> TaskResult:
         telemetry = self.telemetry
         attempts = 1
         while True:
             error: str
             try:
-                update, compute_wall = handle.get(timeout=self.task_timeout_s)
+                reply = handle.get(timeout=self.task_timeout_s)
+                if reply[0] == _CACHE_MISS:
+                    # The worker's cache lacked referenced parameters
+                    # (fresh or replaced process).  Re-send in full —
+                    # this is resynchronisation, not a failure, so it
+                    # does not consume the retry budget, and a full task
+                    # can never miss again.
+                    _, missing, pid = reply
+                    stats["cache_misses"] += 1
+                    self._acked[pid] = {}
+                    self._pid_last_seen[pid] = self._dispatch_round
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            "executor.delta_resync",
+                            backend=self.name,
+                            round=task.round_index,
+                            participant=task.participant_id,
+                            missing=len(missing),
+                            pid=pid,
+                        )
+                    wire_task = task
+                    handle = self._ensure_pool().apply_async(_run_task, (task,))
+                    submitted_at = time.perf_counter()
+                    continue
+                update, compute_wall, pid = reply
+                self._record_ack(pid, wire_task)
                 turnaround = time.perf_counter() - submitted_at
                 queue_s = max(0.0, turnaround - compute_wall)
                 if telemetry.enabled:
@@ -386,6 +528,10 @@ class ProcessPoolBackend:
                     attempt=attempts,
                     error=error,
                 )
+            # Retries always re-send the original task in full: the
+            # replacement worker may have a cold cache, and a delta task
+            # would just bounce with a miss round-trip.
+            wire_task = task
             handle = self._ensure_pool().apply_async(_run_task, (task,))
             submitted_at = time.perf_counter()
 
@@ -394,6 +540,8 @@ class ProcessPoolBackend:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self._acked.clear()
+        self._pid_last_seen.clear()
 
 
 def build_backend(
@@ -407,6 +555,7 @@ def build_backend(
     socket_workers: Optional[Sequence[str]] = None,
     socket_compression: str = "none",
     socket_wire_dtype: str = "float64",
+    delta_dispatch: bool = False,
 ) -> ExecutionBackend:
     """Construct the backend ``name`` ("serial", "process", or "socket").
 
@@ -414,6 +563,9 @@ def build_backend(
     policy for every distributed backend (they come straight from
     ``ExperimentConfig``); the ``socket_*`` arguments only apply to the
     socket backend (``socket_workers=None`` auto-spawns local daemons).
+    ``delta_dispatch`` enables versioned parameter caching on the
+    distributed backends (the serial backend runs in-process and has
+    nothing to cache); results are bit-identical either way.
     """
     if name == "serial":
         return SerialBackend(participants, supernet_config, telemetry=telemetry)
@@ -425,6 +577,7 @@ def build_backend(
             task_timeout_s=task_timeout_s,
             max_retries=task_retries,
             telemetry=telemetry,
+            delta_dispatch=delta_dispatch,
         )
     if name == "socket":
         # Imported lazily: the transport package imports this module for
@@ -441,5 +594,6 @@ def build_backend(
             compression=socket_compression,
             wire_dtype=socket_wire_dtype,
             telemetry=telemetry,
+            delta_dispatch=delta_dispatch,
         )
     raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")

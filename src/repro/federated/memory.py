@@ -15,14 +15,22 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.nn import clone_state
+from repro.nn import clone_state, cow_clone_state
 from repro.search_space import ArchitectureMask
 
 __all__ = ["MemoryPools"]
 
 
 class MemoryPools:
-    """Bounded per-round snapshots of ``θ``, ``α``, and masks ``g``."""
+    """Bounded per-round snapshots of ``θ``, ``α``, and masks ``g``.
+
+    θ snapshots are copy-on-write when the caller supplies per-parameter
+    versions: consecutive rounds share the frozen copies of parameters
+    that did not change between them (only the ~1/N sampled slice
+    receives gradient each round), so pool memory scales with *changed*
+    parameters × window instead of full θ × window.  Without versions
+    (e.g. during checkpoint restore) every save is a plain deep copy.
+    """
 
     def __init__(self, staleness_threshold: int):
         if staleness_threshold < 0:
@@ -33,14 +41,25 @@ class MemoryPools:
         self._theta: Dict[int, Dict[str, np.ndarray]] = {}
         self._alpha: Dict[int, np.ndarray] = {}
         self._masks: Dict[int, Dict[int, ArchitectureMask]] = {}
+        #: name → (version, frozen copy) shared across rounds (CoW).
+        self._cow_cache: Dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     # Saving (Alg. 1 lines 4, 7)
     # ------------------------------------------------------------------
     def save_round(
-        self, round_t: int, theta: Dict[str, np.ndarray], alpha: np.ndarray
+        self,
+        round_t: int,
+        theta: Dict[str, np.ndarray],
+        alpha: np.ndarray,
+        versions=None,
     ) -> None:
-        self._theta[round_t] = clone_state(theta)
+        if versions is None:
+            self._theta[round_t] = clone_state(theta)
+        else:
+            self._theta[round_t] = cow_clone_state(
+                theta, versions, self._cow_cache
+            )
         self._alpha[round_t] = np.array(alpha, copy=True)
         self._masks.setdefault(round_t, {})
 

@@ -92,6 +92,14 @@ class LocalStepTask:
     mask: ArchitectureMask
     state: Dict[str, np.ndarray]
     batch_seed: int
+    #: Server-side version of each entry in ``state`` (delta dispatch).
+    #: ``None`` when versioning is off; backends strip it before
+    #: serializing so delta-off wire bytes stay byte-identical.
+    state_versions: Optional[Dict[str, int]] = None
+    #: Parameters *not* shipped: name → version the worker must already
+    #: hold in its cache (see :mod:`repro.federated.versioning`).  Always
+    #: ``None`` by the time the task reaches ``run_local_step``.
+    state_refs: Optional[Dict[str, int]] = None
 
 
 @dataclasses.dataclass

@@ -45,6 +45,7 @@ from .memory import MemoryPools
 from .participant import LocalStepTask, Participant, ParticipantUpdate
 from .synchronization import HardSync
 from .validation import QuarantineTracker, UpdateValidator
+from .versioning import ParameterVersions
 
 __all__ = ["SearchServerConfig", "RoundResult", "FederatedSearchServer"]
 
@@ -231,6 +232,18 @@ class FederatedSearchServer:
         self.phase_label = "search"
         self._pending: List[_PendingUpdate] = []
         self._param_names = [name for name, _ in supernet.named_parameters()]
+        #: per-parameter version counters, bumped on every mutation of
+        #: the live arrays (optimizer steps, BN aggregation).  They drive
+        #: the copy-on-write memory pools and the backends' delta-encoded
+        #: dispatch; both degrade to full copies / full sends without
+        #: affecting results, so versioning is always on.
+        self.versions = ParameterVersions(
+            [name for name, _ in supernet.named_parameters()]
+            + [name for name, _ in supernet.named_buffers()]
+        )
+        #: preallocated per-name accumulation buffers for the sparse
+        #: gradient aggregation (reused across rounds; see _add_gradients)
+        self._grad_buffers: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # The round loop (Alg. 1 lines 3-36)
@@ -248,7 +261,9 @@ class FederatedSearchServer:
             self.fault_injector.maybe_crash(t)
         telemetry = self.telemetry
         telemetry.emit("round_start", round=t, phase=self.phase_label)
-        self.pools.save_round(t, self._theta_state(), self.policy.alpha)
+        self.pools.save_round(
+            t, self._theta_state(), self.policy.alpha, versions=self.versions
+        )
 
         online = self._sample_online()
         max_latency = 0.0
@@ -256,7 +271,7 @@ class FederatedSearchServer:
         round_duration = 0.0
         num_failed = 0
         if online:
-            masks, sizes, wire_sizes = self._sample_submodels(len(online))
+            masks, states, sizes, wire_sizes = self._sample_submodels(len(online))
             assignment, max_latency, latencies = self._assign(
                 sizes, online, wire_sizes
             )
@@ -264,14 +279,16 @@ class FederatedSearchServer:
             tasks: List[LocalStepTask] = []
             for slot, k in enumerate(online):
                 mask = masks[assignment[slot]]
+                state = states[assignment[slot]]
                 self.pools.save_mask(t, k, mask)
                 tasks.append(
                     LocalStepTask(
                         participant_id=k,
                         round_index=t,
                         mask=mask,
-                        state=self.supernet.submodel_state(mask),
+                        state=state,
                         batch_seed=self.participants[k].draw_batch_seed(),
+                        state_versions=self.versions.subset(state),
                     )
                 )
                 if telemetry.enabled:
@@ -408,7 +425,19 @@ class FederatedSearchServer:
     # ------------------------------------------------------------------
     def _sample_submodels(
         self, count: int
-    ) -> Tuple[List[ArchitectureMask], List[float], Optional[List[float]]]:
+    ) -> Tuple[
+        List[ArchitectureMask],
+        List[Dict[str, np.ndarray]],
+        List[float],
+        Optional[List[float]],
+    ]:
+        """Sample ``count`` masks and materialise their sub-model states.
+
+        The states are built exactly once here and reused by the task
+        builder (they hold *live* references into the supernet — see
+        :meth:`Supernet.submodel_state` — so no copying happens on the
+        dispatch path; every consumer copies before mutating).
+        """
         masks = [self.policy.sample_mask() for _ in range(count)]
         states = [self.supernet.submodel_state(mask) for mask in masks]
         sizes = [float(state_size_bytes(state)) for state in states]
@@ -427,7 +456,7 @@ class FederatedSearchServer:
             if self.telemetry.enabled:
                 for wire_size in wire_sizes:
                     self.telemetry.observe("transmission.wire_bytes", wire_size)
-        return masks, sizes, wire_sizes
+        return masks, states, sizes, wire_sizes
 
     def _assign(
         self,
@@ -646,15 +675,29 @@ class FederatedSearchServer:
         )
         self._add_gradients(grad_sum, repaired)
 
-    @staticmethod
     def _add_gradients(
-        grad_sum: Dict[str, np.ndarray], gradients: Dict[str, np.ndarray]
+        self, grad_sum: Dict[str, np.ndarray], gradients: Dict[str, np.ndarray]
     ) -> None:
+        """Accumulate sparse per-name gradients in place.
+
+        Updates only carry gradients for sampled parameters, so the sum
+        stays name-sparse — no dense zero-filled dicts are ever built.
+        The first arrival for a name lands in a preallocated per-name
+        buffer (reused across rounds) via ``np.copyto``; later arrivals
+        add in place.  Float64 addition order is unchanged, so results
+        are bit-identical to the previous copy-then-add accumulation.
+        """
+        buffers = self._grad_buffers
         for name, grad in gradients.items():
             if name in grad_sum:
-                grad_sum[name] = grad_sum[name] + grad
+                grad_sum[name] += grad
             else:
-                grad_sum[name] = np.array(grad, copy=True)
+                buf = buffers.get(name)
+                if buf is None or buf.shape != grad.shape or buf.dtype != grad.dtype:
+                    buf = np.empty_like(grad)
+                    buffers[name] = buf
+                np.copyto(buf, grad)
+                grad_sum[name] = buf
 
     def _record_operation_preferences(self) -> None:
         """Track which operations the policy currently prefers.
@@ -689,10 +732,13 @@ class FederatedSearchServer:
                     sums[name] = np.array(value, copy=True)
                     counts[name] = 1
         owners = self.supernet._named_buffer_owners()
+        touched = []
         for name, total in sums.items():
             if name in owners:
                 module, local = owners[name]
                 module._set_buffer(local, total / counts[name])
+                touched.append(name)
+        self.versions.bump(touched)
 
     def evaluate_architecture(
         self, dataset, mask: Optional[ArchitectureMask] = None, batch_size: int = 64
@@ -733,3 +779,6 @@ class FederatedSearchServer:
                 "theta_step", round=self.round, grad_norm=norm, num_updates=count
             )
         self.theta_optimizer.step()
+        # The optimizer mutates exactly the parameters that received
+        # gradient this round (SGD skips grad-less parameters entirely).
+        self.versions.bump(grad_sum)

@@ -1,0 +1,156 @@
+"""Per-parameter version counters for delta-encoded dispatch.
+
+The round hot path re-ships a mostly-unchanged θ slice to every
+participant every round: only the parameters of *sampled* operations
+receive gradient, so between two dispatches to the same worker the vast
+majority of a sub-model's arrays are byte-identical.  This module gives
+the server a cheap way to know *which* arrays changed —
+:class:`ParameterVersions` bumps a counter per parameter name on every
+optimizer step — and gives both ends of a dispatch the shared delta
+protocol:
+
+* :func:`split_delta` (server side) partitions a task's state into the
+  entries a worker already holds at the current version (shipped as
+  name→version *references*) and the entries that must travel in full.
+* :func:`resolve_task` (worker side) reassembles the full state from the
+  shipped entries plus the worker's persistent ``(name, version)`` cache,
+  raising :class:`DeltaCacheMiss` when a referenced version is absent —
+  the signal for the server to fall back to a full re-send.
+
+Correctness never depends on cache warmth: a miss, a respawned worker, a
+reconnect, or a ``--resume`` all degrade to a full send (and, on resume,
+:func:`ParameterVersions.bump_all` invalidates every previously
+acknowledged version).  Seeded runs are bit-identical with the protocol
+on or off because the reassembled state is array-for-array the same
+bytes the server would have shipped in full.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from .participant import LocalStepTask
+
+__all__ = [
+    "ParameterVersions",
+    "DeltaCacheMiss",
+    "split_delta",
+    "resolve_task",
+]
+
+
+class ParameterVersions:
+    """Monotonic per-parameter version counters.
+
+    Versions start at 1 (so "never acknowledged" — an empty ack map —
+    can be represented as version 0 or simply absence) and are bumped
+    with :meth:`bump` after every server-side mutation of the named
+    arrays (optimizer steps for parameters, aggregation for buffers).
+    :meth:`bump_all` invalidates everything at once — used after a
+    checkpoint restore, where workers' caches may hold arrays from a
+    different timeline.
+    """
+
+    def __init__(self, names: Iterable[str]):
+        self._versions: Dict[str, int] = {name: 1 for name in names}
+
+    def __getitem__(self, name: str) -> int:
+        return self._versions[name]
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._versions.get(name, default)
+
+    def bump(self, names: Iterable[str]) -> None:
+        """Increment the counters of every name in ``names``."""
+        versions = self._versions
+        for name in names:
+            versions[name] = versions.get(name, 0) + 1
+
+    def bump_all(self) -> None:
+        """Invalidate every parameter (checkpoint restore / resume)."""
+        self.bump(list(self._versions))
+
+    def subset(self, names: Iterable[str]) -> Dict[str, int]:
+        """Name → current version for exactly ``names`` (dispatch order)."""
+        versions = self._versions
+        return {name: versions[name] for name in names}
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._versions)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+
+class DeltaCacheMiss(KeyError):
+    """A task referenced cached parameters the worker does not hold."""
+
+    def __init__(self, missing: Iterable[str]):
+        self.missing: List[str] = list(missing)
+        super().__init__(
+            f"{len(self.missing)} referenced parameter(s) not in cache: "
+            + ", ".join(self.missing[:4])
+            + ("..." if len(self.missing) > 4 else "")
+        )
+
+
+def split_delta(
+    state: Mapping[str, np.ndarray],
+    versions: Mapping[str, int],
+    acked: Mapping[str, int],
+) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+    """Partition ``state`` into (ship-in-full, reference-by-version).
+
+    A parameter may be referenced instead of shipped iff the receiver
+    last acknowledged *exactly* the current version — anything older (or
+    never acknowledged) travels in full.  Returns ``(delta, refs)``
+    where ``refs`` maps name → the version the receiver must look up.
+    """
+    delta: Dict[str, np.ndarray] = {}
+    refs: Dict[str, int] = {}
+    for name, value in state.items():
+        version = versions[name]
+        if acked.get(name) == version:
+            refs[name] = version
+        else:
+            delta[name] = value
+    return delta, refs
+
+
+def resolve_task(
+    task: LocalStepTask,
+    cache: Dict[str, Tuple[int, np.ndarray]],
+) -> LocalStepTask:
+    """Worker-side delta resolution against a persistent parameter cache.
+
+    ``cache`` maps name → ``(version, array)``.  Shipped entries
+    (``task.state``) refresh the cache at their declared versions;
+    referenced entries (``task.state_refs``) are looked up and must match
+    the referenced version *exactly*, else :class:`DeltaCacheMiss` is
+    raised — the worker never trains on a guessed parameter.  Returns a
+    task whose ``state`` is complete (refs folded in, ``state_refs``
+    cleared) and is safe to hand to ``run_local_step`` unchanged.
+    """
+    versions = task.state_versions or {}
+    for name, value in task.state.items():
+        cache[name] = (versions.get(name, 0), value)
+    if not task.state_refs:
+        if task.state_refs is None:
+            return task
+        return dataclasses.replace(task, state_refs=None)
+
+    missing = [
+        name
+        for name, version in task.state_refs.items()
+        if name not in cache or cache[name][0] != version
+    ]
+    if missing:
+        raise DeltaCacheMiss(missing)
+
+    merged = dict(task.state)
+    for name, version in task.state_refs.items():
+        merged[name] = cache[name][1]
+    return dataclasses.replace(task, state=merged, state_refs=None)

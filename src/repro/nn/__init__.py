@@ -31,10 +31,13 @@ from .serialize import (
     bytes_to_state,
     payload_size_bytes,
     clone_state,
+    cow_clone_state,
     model_size_megabytes,
+    pack_state,
     state_num_parameters,
     state_size_bytes,
     state_to_bytes,
+    unpack_state,
 )
 from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
 
@@ -70,8 +73,11 @@ __all__ = [
     "kaiming_uniform",
     "xavier_uniform",
     "state_to_bytes",
+    "pack_state",
+    "unpack_state",
     "bytes_to_state",
     "clone_state",
+    "cow_clone_state",
     "state_num_parameters",
     "state_size_bytes",
     "payload_size_bytes",

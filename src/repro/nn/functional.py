@@ -52,6 +52,24 @@ def _conv_output_size(size: int, kernel: int, stride: int, pad: int, dilation: i
     return out
 
 
+#: cached ``np.einsum_path`` contraction orders, keyed by
+#: ``(equation, lhs.shape, rhs.shape)``.  ``optimize=True`` re-plans the
+#: contraction on *every* call; the supernet calls conv2d with a handful
+#: of distinct shapes thousands of times per search, so the plan is
+#: computed once per shape and replayed.
+_EINSUM_PATHS: dict = {}
+
+
+def _einsum2(equation: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``np.einsum`` over two operands with a cached contraction path."""
+    key = (equation, a.shape, b.shape)
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(equation, a, b, optimize=True)[0]
+        _EINSUM_PATHS[key] = path
+    return np.einsum(equation, a, b, optimize=path)
+
+
 def _extract_windows(
     x: np.ndarray,
     kernel: Tuple[int, int],
@@ -61,10 +79,32 @@ def _extract_windows(
 ) -> np.ndarray:
     """Gather sliding windows from a padded NCHW array.
 
-    Returns an array of shape ``(N, C, KH, KW, OH, OW)``.  Each ``[i, j]``
-    slice is a strided view copy of the input, so the loop cost is only
-    ``KH * KW`` slice copies.
+    Returns a contiguous array of shape ``(N, C, KH, KW, OH, OW)`` built
+    from a single ``sliding_window_view`` (one strided view, one copy) —
+    no Python loop over the kernel footprint.
     """
+    kh, kw = kernel
+    sh, sw = stride
+    dh, dw = dilation
+    oh, ow = out_hw
+    eh = dh * (kh - 1) + 1
+    ew = dw * (kw - 1) + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (eh, ew), axis=(2, 3))
+    # (N, C, OH, OW, KH, KW): pick the strided output positions, then the
+    # dilated taps inside each effective window.
+    windows = windows[:, :, : sh * (oh - 1) + 1 : sh, : sw * (ow - 1) + 1 : sw, ::dh, ::dw]
+    return np.ascontiguousarray(windows.transpose(0, 1, 4, 5, 2, 3))
+
+
+def _extract_windows_loop(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    dilation: Tuple[int, int],
+    out_hw: Tuple[int, int],
+) -> np.ndarray:
+    """Reference implementation of :func:`_extract_windows` (KH*KW slice
+    copies); kept for equivalence testing."""
     n, c = x.shape[:2]
     kh, kw = kernel
     sh, sw = stride
@@ -134,7 +174,7 @@ def conv2d(
     cols_r = cols.reshape(n, groups, cg * kh * kw, oh * ow)
     # (G, OC/G, C/G * KH * KW)
     w_r = weight.data.reshape(groups, oc // groups, cg * kh * kw)
-    out = np.einsum("gok,ngkp->ngop", w_r, cols_r, optimize=True)
+    out = _einsum2("gok,ngkp->ngop", w_r, cols_r)
     out = out.reshape(n, oc, oh, ow)
     if bias is not None:
         out = out + bias.data.reshape(1, oc, 1, 1)
@@ -144,12 +184,12 @@ def conv2d(
     def backward(grad: np.ndarray) -> None:
         grad_r = grad.reshape(n, groups, oc // groups, oh * ow)
         if weight.requires_grad:
-            gw = np.einsum("ngop,ngkp->gok", grad_r, cols_r, optimize=True)
+            gw = _einsum2("ngop,ngkp->gok", grad_r, cols_r)
             weight._accumulate(gw.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
         if x_pad.requires_grad:
-            gcols = np.einsum("gok,ngop->ngkp", w_r, grad_r, optimize=True)
+            gcols = _einsum2("gok,ngop->ngkp", w_r, grad_r)
             gcols = gcols.reshape(n, c, kh, kw, oh, ow)
             gx = _scatter_windows(gcols, x_pad.shape, (kh, kw), stride, dilation)
             x_pad._accumulate(gx)

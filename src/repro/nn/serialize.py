@@ -30,11 +30,14 @@ __all__ = [
     "WIRE_DTYPES",
     "state_to_bytes",
     "bytes_to_state",
+    "pack_state",
+    "unpack_state",
     "state_num_parameters",
     "state_size_bytes",
     "payload_size_bytes",
     "model_size_megabytes",
     "clone_state",
+    "cow_clone_state",
 ]
 
 _WIRE_BYTES_PER_SCALAR = 4  # the analytic model assumes float32 scalars
@@ -87,6 +90,91 @@ def bytes_to_state(payload: bytes, *, compressed: bool = False) -> Dict[str, np.
         return {k: archive[k].astype(np.float64) for k in archive.files}
 
 
+def pack_state(
+    state: Dict[str, np.ndarray], *, dtype: str = "float32", compress: bool = False
+) -> bytes:
+    """Serialize a state dict to a *compact* binary blob.
+
+    The npz container :func:`state_to_bytes` produces costs ~300 bytes
+    of zip/npy headers **per array** — more than the array data itself at
+    simulator scale.  This packed format spends ~40 bytes per entry::
+
+        name_len (u16 BE) | name utf-8 | dtype_len (u8) | dtype.str |
+        ndim (u8) | dims (u32 BE each) | raw C-order bytes
+
+    Entries keep dict order; the stored ``dtype.str`` carries the byte
+    order, so the blob is self-describing and platform-portable.  Used
+    by the delta-dispatch wire path (negotiated at hello); the default
+    npz path and its byte-exact historical format are untouched.
+    """
+    if dtype not in WIRE_DTYPES:
+        raise ValueError(
+            f"dtype must be one of {sorted(WIRE_DTYPES)}, got {dtype!r}"
+        )
+    wire = WIRE_DTYPES[dtype]
+    parts = []
+    for name, value in state.items():
+        array = np.ascontiguousarray(np.asarray(value, dtype=wire))
+        name_bytes = name.encode("utf-8")
+        dtype_bytes = array.dtype.str.encode("ascii")
+        if len(name_bytes) > 0xFFFF or len(dtype_bytes) > 0xFF or array.ndim > 0xFF:
+            raise ValueError(f"state entry {name!r} does not fit the packed format")
+        header = (
+            len(name_bytes).to_bytes(2, "big")
+            + name_bytes
+            + bytes([len(dtype_bytes)])
+            + dtype_bytes
+            + bytes([array.ndim])
+            + b"".join(dim.to_bytes(4, "big") for dim in array.shape)
+        )
+        parts.append(header)
+        parts.append(array.tobytes())
+    payload = b"".join(parts)
+    if compress:
+        payload = zlib.compress(payload)
+    return payload
+
+
+def unpack_state(payload: bytes, *, compressed: bool = False) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`pack_state` (arrays come back as float64)."""
+    if compressed:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise ValueError(f"corrupt compressed state payload: {exc}") from exc
+    state: Dict[str, np.ndarray] = {}
+    offset = 0
+    total = len(payload)
+
+    def take(count: int) -> bytes:
+        nonlocal offset
+        if offset + count > total:
+            raise ValueError(
+                f"truncated packed state blob at byte {offset} "
+                f"(wanted {count} more of {total})"
+            )
+        chunk = payload[offset : offset + count]
+        offset += count
+        return chunk
+
+    while offset < total:
+        name_len = int.from_bytes(take(2), "big")
+        name = take(name_len).decode("utf-8")
+        dtype_len = take(1)[0]
+        try:
+            dt = np.dtype(take(dtype_len).decode("ascii"))
+        except (TypeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"packed state entry {name!r} has a bad dtype") from exc
+        ndim = take(1)[0]
+        shape = tuple(int.from_bytes(take(4), "big") for _ in range(ndim))
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        data = take(size * dt.itemsize)
+        state[name] = (
+            np.frombuffer(data, dtype=dt).reshape(shape).astype(np.float64)
+        )
+    return state
+
+
 def state_num_parameters(state: Dict[str, np.ndarray]) -> int:
     return int(sum(v.size for v in state.values()))
 
@@ -122,3 +210,30 @@ def model_size_megabytes(model: Module) -> float:
 def clone_state(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
     """Deep-copy a state dict."""
     return {k: np.array(v, copy=True) for k, v in state.items()}
+
+
+def cow_clone_state(
+    state: Dict[str, np.ndarray],
+    versions,
+    cache: Dict[str, tuple],
+) -> Dict[str, np.ndarray]:
+    """Copy-on-write snapshot of a state dict.
+
+    ``versions`` maps (or indexes, via ``versions[name]``) each name to a
+    monotonically increasing counter that changes whenever the live array
+    is mutated; ``cache`` persists between calls and maps name →
+    ``(version, frozen_copy)``.  Entries whose version is unchanged since
+    the previous snapshot *share* the previously frozen copy — only
+    mutated entries are physically copied.  Each returned snapshot is
+    therefore safe to keep after the live arrays change, at a cost of
+    O(changed entries) rather than O(full state) per call.
+    """
+    snapshot: Dict[str, np.ndarray] = {}
+    for name, value in state.items():
+        version = versions[name]
+        cached = cache.get(name)
+        if cached is None or cached[0] != version:
+            cached = (version, np.array(value, copy=True))
+            cache[name] = cached
+        snapshot[name] = cached[1]
+    return snapshot

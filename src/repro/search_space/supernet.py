@@ -220,17 +220,31 @@ class Supernet(nn.Module):
 
         This is what actually travels over the (simulated) network; its
         size drives the adaptive-transmission scheduler.
+
+        .. warning::
+            The returned arrays are *live views* of the supernet's
+            parameters and buffers, not copies — this is the round hot
+            path, called once per participant per round.  Consumers must
+            copy before mutating (``load_state_dict`` and the wire codecs
+            already do), and must not hold the dict across a server
+            optimizer step if they need the pre-step values.
         """
         names = self.submodel_parameter_names(mask)
-        state = self.state_dict()
-        return {name: state[name] for name in names}
+        # Buffers are *replaced* (not mutated) by BN aggregation and
+        # load_state_dict, so the name → array map is rebuilt per call;
+        # only the name list and edge-reference parses are cached.
+        live: Dict[str, np.ndarray] = {
+            name: param.data for name, param in self.named_parameters()
+        }
+        for name, buf in self.named_buffers():
+            live[name] = buf
+        return {name: live[name] for name in names}
 
     def submodel_parameter_names(self, mask: ArchitectureMask) -> List[str]:
         """Names of supernet state entries present in ``mask``'s sub-model."""
         self._check_mask(mask)
         kept: List[str] = []
-        for name in self.state_dict():
-            edge_ref = self._parse_edge_reference(name)
+        for name, edge_ref in self._state_edge_refs():
             if edge_ref is None:
                 kept.append(name)
                 continue
@@ -241,6 +255,21 @@ class Supernet(nn.Module):
             if chosen[edge_idx] == op_idx:
                 kept.append(name)
         return kept
+
+    def _state_edge_refs(self) -> List[Tuple[str, Optional[Tuple[int, int, int]]]]:
+        """Cached ``(state name, parsed edge reference)`` pairs.
+
+        The name set and order (parameters then buffers, exactly
+        ``state_dict()`` order) are fixed at construction, so parsing
+        ``cells.<c>.edges.<e>.<op>`` once per name is enough.
+        """
+        cached = getattr(self, "_state_edge_refs_cache", None)
+        if cached is None:
+            names = [name for name, _ in self.named_parameters()]
+            names += [name for name, _ in self.named_buffers()]
+            cached = [(name, self._parse_edge_reference(name)) for name in names]
+            self._state_edge_refs_cache = cached
+        return cached
 
     def scatter_gradients(
         self, gradients: Dict[str, np.ndarray]

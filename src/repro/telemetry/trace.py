@@ -44,6 +44,7 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
     event_counts: Dict[str, int] = collections.Counter()
     timestamps: List[float] = []
     transport_rounds: List[Dict] = []
+    dispatch_rounds: List[Dict] = []
 
     for event in events:
         name = event.get("event", "?")
@@ -104,6 +105,19 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
                     "bytes_received": float(event.get("bytes_received", 0.0)),
                 }
             )
+        elif name == "dispatch.round":
+            dispatch_rounds.append(
+                {
+                    "round": int(event.get("round", -1)),
+                    "backend": event.get("backend", "?"),
+                    "tasks": int(event.get("tasks", 0)),
+                    "params_sent": int(event.get("params_sent", 0)),
+                    "params_cached": int(event.get("params_cached", 0)),
+                    "full_syncs": int(event.get("full_syncs", 0)),
+                    "cache_misses": int(event.get("cache_misses", 0)),
+                    "cache_hit": float(event.get("cache_hit", 0.0)),
+                }
+            )
 
     total_phase_wall = sum(p["wall_s"] for p in phases) or 1.0
     for p in phases:
@@ -134,6 +148,23 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
             ),
         }
 
+    dispatch = None
+    if dispatch_rounds:
+        sent_total = sum(r["params_sent"] for r in dispatch_rounds)
+        cached_total = sum(r["params_cached"] for r in dispatch_rounds)
+        total = sent_total + cached_total
+        dispatch = {
+            "rounds": dispatch_rounds,
+            "backend": dispatch_rounds[0]["backend"],
+            "params_sent_total": sent_total,
+            "params_cached_total": cached_total,
+            "full_syncs_total": sum(r["full_syncs"] for r in dispatch_rounds),
+            "cache_misses_total": sum(
+                r["cache_misses"] for r in dispatch_rounds
+            ),
+            "cache_hit": (cached_total / total) if total else 0.0,
+        }
+
     return {
         "num_events": len(events),
         "wall_s": (max(timestamps) - min(timestamps)) if timestamps else 0.0,
@@ -144,6 +175,7 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
         "participants": participant_rows,
         "rounds": rounds,
         "transport": transport,
+        "dispatch": dispatch,
         "event_counts": dict(sorted(event_counts.items())),
     }
 
@@ -281,6 +313,43 @@ def render_trace(summary: Dict, top: int = 5, max_round_rows: int = 20) -> str:
         if len(transport["rounds"]) > len(shown):
             lines.append(
                 f"... ({len(transport['rounds']) - len(shown)} more rounds)"
+            )
+
+    dispatch = summary.get("dispatch")
+    if dispatch:
+        lines.append("")
+        lines.append(f"## Delta dispatch ({dispatch['backend']} backend)")
+        lines.append(
+            f"  params sent: {dispatch['params_sent_total']}   "
+            f"served from cache: {dispatch['params_cached_total']}   "
+            f"cache hit: {100.0 * dispatch['cache_hit']:.1f}%"
+        )
+        lines.append(
+            f"  full syncs: {dispatch['full_syncs_total']}   "
+            f"cache misses (resyncs): {dispatch['cache_misses_total']}"
+        )
+        shown = dispatch["rounds"][:max_round_rows]
+        lines.append(
+            markdown_table(
+                ["round", "tasks", "sent", "cached", "full_syncs", "misses", "hit_%"],
+                [
+                    [
+                        r["round"],
+                        r["tasks"],
+                        r["params_sent"],
+                        r["params_cached"],
+                        r["full_syncs"],
+                        r["cache_misses"],
+                        100.0 * r["cache_hit"],
+                    ]
+                    for r in shown
+                ],
+                precision=1,
+            )
+        )
+        if len(dispatch["rounds"]) > len(shown):
+            lines.append(
+                f"... ({len(dispatch['rounds']) - len(shown)} more rounds)"
             )
 
     return "\n".join(lines)

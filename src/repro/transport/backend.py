@@ -43,6 +43,7 @@ RTTs, worker lifecycle events, and one ``transport.round`` event per
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import socket
 import subprocess
@@ -53,6 +54,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.federated.executor import ParticipantSpec, TaskResult
 from repro.federated.participant import LocalStepTask
+from repro.federated.versioning import split_delta
 from repro.nn.serialize import WIRE_DTYPES
 from repro.search_space import SupernetConfig
 from repro.telemetry import Telemetry
@@ -158,6 +160,12 @@ class WorkerEndpoint:
         self.conn: Optional[FrameConnection] = None
         self.registered = False
         self.rounds_failed = 0
+        #: daemon advertised delta-dispatch support in its hello ack
+        self.delta_ok = False
+        #: name → version this worker last acknowledged (delta dispatch);
+        #: reset on every (re-)registration, since MSG_INIT clears the
+        #: daemon's parameter cache.
+        self.acked: Dict[str, int] = {}
 
     @property
     def address(self) -> str:
@@ -192,6 +200,7 @@ class SocketBackend:
         wire_dtype: str = "float64",
         telemetry: Optional[Telemetry] = None,
         spawn_idle_timeout_s: float = 300.0,
+        delta_dispatch: bool = False,
     ):
         if task_timeout_s <= 0:
             raise ValueError(f"task_timeout_s must be positive, got {task_timeout_s}")
@@ -223,9 +232,15 @@ class SocketBackend:
         self.wire_dtype = wire_dtype
         self.telemetry = telemetry or Telemetry.disabled()
         self._spawn_idle_timeout_s = float(spawn_idle_timeout_s)
+        self.delta_dispatch = bool(delta_dispatch)
         self._seq = 0
         self._round_counter = 0
         self._lock = threading.Lock()
+        #: per-round delta-dispatch stats (guarded by _lock; worker
+        #: threads update it during _run_assignments)
+        self._dispatch_stats = {
+            "sent": 0, "cached": 0, "full_syncs": 0, "cache_misses": 0
+        }
 
         if workers:
             self._auto_spawn = False
@@ -267,10 +282,15 @@ class SocketBackend:
             return False
         conn = FrameConnection(sock, on_traffic=self._on_traffic)
         try:
+            # The delta capability travels as an *extra* hello key only
+            # when enabled, so delta-off hello bytes are unchanged.
+            hello_extra = {"delta": True} if self.delta_dispatch else {}
             msg_type, payload = conn.request(
                 MSG_HELLO,
                 codec.encode_hello(
-                    compression=self.compression, wire_dtype=self.wire_dtype
+                    compression=self.compression,
+                    wire_dtype=self.wire_dtype,
+                    **hello_extra,
                 ),
                 timeout=self.connect_timeout_s,
             )
@@ -278,6 +298,7 @@ class SocketBackend:
                 raise ProtocolError(
                     f"expected hello_ack, got message type {msg_type:#x}"
                 )
+            hello_ack = codec.decode_json(payload)
             msg_type, payload = conn.request(
                 MSG_INIT,
                 codec.encode_init(self._specs, self._supernet_config),
@@ -298,6 +319,10 @@ class SocketBackend:
             return False
         endpoint.conn = conn
         endpoint.registered = True
+        # Registration sent MSG_INIT, which cleared the daemon's delta
+        # cache: every previously acknowledged version is void.
+        endpoint.acked = {}
+        endpoint.delta_ok = bool(hello_ack.get("delta", False))
         if self.telemetry.enabled:
             self.telemetry.count("transport.worker_registered")
             self.telemetry.emit(
@@ -381,45 +406,119 @@ class SocketBackend:
         self._seq += 1
         return self._seq
 
+    def _encode_for_endpoint(
+        self, endpoint: WorkerEndpoint, task: LocalStepTask
+    ) -> LocalStepTask:
+        """Delta-encode ``task`` against what ``endpoint`` acknowledged.
+
+        Deltas are computed per endpoint at send time, so the second task
+        a worker receives in a round already references what the first
+        one shipped (versions cannot change mid-round).  With delta off
+        (or a non-delta daemon) the version metadata is stripped, keeping
+        the wire bytes identical to the historical format.
+        """
+        if not (
+            self.delta_dispatch
+            and endpoint.delta_ok
+            and task.state_versions is not None
+        ):
+            if task.state_versions is None and not task.state_refs:
+                return task
+            return dataclasses.replace(
+                task, state_versions=None, state_refs=None
+            )
+        with self._lock:
+            acked = dict(endpoint.acked)
+        delta, refs = split_delta(task.state, task.state_versions, acked)
+        with self._lock:
+            self._dispatch_stats["sent"] += len(delta)
+            self._dispatch_stats["cached"] += len(refs)
+            if not refs:
+                self._dispatch_stats["full_syncs"] += 1
+        if not refs:
+            return task  # full sync; versions still travel to warm the cache
+        return dataclasses.replace(task, state=delta, state_refs=refs)
+
     def _execute_on(
         self, endpoint: WorkerEndpoint, task: LocalStepTask
     ) -> Tuple[Optional[TaskResult], str]:
         """One attempt of one task on one worker.
 
         Returns ``(result, "")`` on success or ``(None, reason)`` on
-        failure; connection-level failures also mark the worker lost.
+        failure; connection-level failures also mark the worker lost.  A
+        delta cache miss is not a failure: the task is immediately
+        re-sent in full on the same connection (a full task cannot miss).
         """
-        seq = self._next_seq()
-        payload = codec.encode_task(
-            task, seq, compression=self.compression, wire_dtype=self.wire_dtype
+        wire_task = self._encode_for_endpoint(endpoint, task)
+        # Delta-capable daemons also get the compact packed blob (the
+        # npz container's per-array headers dominate at small scales).
+        packed = (
+            self.delta_dispatch
+            and endpoint.delta_ok
+            and task.state_versions is not None
         )
-        start = time.perf_counter()
-        try:
-            msg_type, reply = endpoint.conn.request(
-                MSG_TASK, payload, timeout=self.task_timeout_s
+        resyncing = False
+        while True:
+            seq = self._next_seq()
+            payload = codec.encode_task(
+                wire_task,
+                seq,
+                compression=self.compression,
+                wire_dtype=self.wire_dtype,
+                packed=packed,
             )
-            if msg_type == MSG_ERROR:
-                # The worker is healthy, the task failed remotely.
-                _seq, error = codec.decode_error(reply)
-                return None, f"remote error: {error}"
-            if msg_type != MSG_UPDATE:
-                raise ProtocolError(
-                    f"expected update, got message type {msg_type:#x}"
+            start = time.perf_counter()
+            try:
+                msg_type, reply = endpoint.conn.request(
+                    MSG_TASK, payload, timeout=self.task_timeout_s
                 )
-            update, reply_seq = codec.decode_update(reply)
-            if reply_seq != seq:
-                raise ProtocolError(
-                    f"reply seq {reply_seq} does not match request seq {seq}"
+                if msg_type == MSG_ERROR:
+                    info = codec.decode_error_info(reply)
+                    if info.get("code") == "cache_miss" and not resyncing:
+                        # The daemon restarted (or was swapped) since we
+                        # last acknowledged: forget its cache and ship
+                        # the full state once, outside the retry budget.
+                        with self._lock:
+                            endpoint.acked = {}
+                            self._dispatch_stats["cache_misses"] += 1
+                        if self.telemetry.enabled:
+                            with self._lock:
+                                self.telemetry.emit(
+                                    "transport.delta_resync",
+                                    worker=endpoint.address,
+                                    round=task.round_index,
+                                    participant=task.participant_id,
+                                    missing=int(info.get("missing", 0)),
+                                )
+                        wire_task = task
+                        resyncing = True
+                        continue
+                    # The worker is healthy, the task failed remotely.
+                    return None, f"remote error: {info['error']}"
+                if msg_type != MSG_UPDATE:
+                    raise ProtocolError(
+                        f"expected update, got message type {msg_type:#x}"
+                    )
+                update, reply_seq = codec.decode_update(reply)
+                if reply_seq != seq:
+                    raise ProtocolError(
+                        f"reply seq {reply_seq} does not match request seq {seq}"
+                    )
+            except socket.timeout:
+                self._mark_lost(
+                    endpoint, f"task deadline ({self.task_timeout_s:g}s) exceeded"
                 )
-        except socket.timeout:
-            self._mark_lost(
-                endpoint, f"task deadline ({self.task_timeout_s:g}s) exceeded"
-            )
-            return None, f"task timed out after {self.task_timeout_s:g}s"
-        except (ProtocolError, OSError) as exc:
-            self._mark_lost(endpoint, str(exc))
-            return None, f"{type(exc).__name__}: {exc}"
+                return None, f"task timed out after {self.task_timeout_s:g}s"
+            except (ProtocolError, OSError) as exc:
+                self._mark_lost(endpoint, str(exc))
+                return None, f"{type(exc).__name__}: {exc}"
+            break
         rtt = time.perf_counter() - start
+        if self.delta_dispatch and task.state_versions is not None:
+            # The daemon now holds every name in the task at its current
+            # version (shipped entries were cached, refs were verified).
+            with self._lock:
+                endpoint.acked.update(task.state_versions)
         if self.telemetry.enabled:
             with self._lock:
                 self.telemetry.observe("transport.task_rtt_s", rtt)
@@ -442,6 +541,10 @@ class SocketBackend:
         round_index = tasks[0].round_index if tasks else self._round_counter
         self._round_counter += 1
         live = self._ensure_workers()
+        with self._lock:
+            self._dispatch_stats = {
+                "sent": 0, "cached": 0, "full_syncs": 0, "cache_misses": 0
+            }
         results: List[Optional[TaskResult]] = [None] * len(tasks)
         attempts = [0] * len(tasks)
         last_error = ["no live workers"] * len(tasks)
@@ -520,6 +623,25 @@ class SocketBackend:
                 bytes_sent=sent - bytes_before[0],
                 bytes_received=received - bytes_before[1],
             )
+            if self.delta_dispatch:
+                with self._lock:
+                    stats = dict(self._dispatch_stats)
+                total = stats["sent"] + stats["cached"]
+                telemetry.count("dispatch.delta_params", stats["sent"])
+                telemetry.count("dispatch.cached_params", stats["cached"])
+                telemetry.count("dispatch.full_syncs", stats["full_syncs"])
+                telemetry.count("dispatch.cache_misses", stats["cache_misses"])
+                telemetry.emit(
+                    "dispatch.round",
+                    backend=self.name,
+                    round=round_index,
+                    tasks=len(tasks),
+                    params_sent=stats["sent"],
+                    params_cached=stats["cached"],
+                    full_syncs=stats["full_syncs"],
+                    cache_misses=stats["cache_misses"],
+                    cache_hit=(stats["cached"] / total) if total else 0.0,
+                )
         return final
 
     def _traffic_snapshot(self) -> Tuple[int, int]:

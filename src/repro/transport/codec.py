@@ -39,7 +39,13 @@ import numpy as np
 
 from repro.federated.executor import ParticipantSpec
 from repro.federated.participant import LocalStepTask, ParticipantUpdate
-from repro.nn.serialize import WIRE_DTYPES, bytes_to_state, state_to_bytes
+from repro.nn.serialize import (
+    WIRE_DTYPES,
+    bytes_to_state,
+    pack_state,
+    state_to_bytes,
+    unpack_state,
+)
 from repro.search_space import ArchitectureMask, SupernetConfig
 
 from .protocol import PROTOCOL_VERSION, ProtocolError
@@ -58,12 +64,20 @@ __all__ = [
     "decode_update",
     "encode_error",
     "decode_error",
+    "decode_error_info",
 ]
 
 #: Wire compression modes negotiable at hello.
 COMPRESSIONS = ("none", "zlib")
 
 _FLAG_ZLIB = 0x01
+#: blob is the compact ``pack_state`` format instead of npz; used by the
+#: delta-dispatch path (the npz container's ~300 bytes of headers *per
+#: array* dominate at simulator scale).  Negotiated with the ``delta``
+#: hello capability — payloads without the flag are byte-identical to
+#: the historical format.
+_FLAG_PACKED = 0x02
+_KNOWN_FLAGS = _FLAG_ZLIB | _FLAG_PACKED
 _META_LEN = struct.Struct(">I")
 
 
@@ -126,13 +140,23 @@ def decode_hello(payload: bytes) -> Dict:
     return hello
 
 
-def encode_error(seq: int, error: str) -> bytes:
-    return encode_json({"seq": seq, "error": error})
+def encode_error(seq: int, error: str, **extra) -> bytes:
+    """An error reply; ``extra`` carries optional machine-readable fields
+    (e.g. ``code="cache_miss"`` for delta-dispatch resynchronisation)."""
+    return encode_json({"seq": seq, "error": error, **extra})
 
 
 def decode_error(payload: bytes) -> Tuple[int, str]:
     obj = decode_json(payload)
     return int(obj.get("seq", -1)), str(obj.get("error", "unknown remote error"))
+
+
+def decode_error_info(payload: bytes) -> Dict:
+    """The full error object (seq, error, plus any extra fields)."""
+    obj = decode_json(payload)
+    obj.setdefault("seq", -1)
+    obj.setdefault("error", "unknown remote error")
+    return obj
 
 
 # ----------------------------------------------------------------------
@@ -165,7 +189,12 @@ def decode_init(payload: bytes) -> Tuple[List[ParticipantSpec], SupernetConfig]:
 # Tensor payloads (the codec the high-rate messages use)
 # ----------------------------------------------------------------------
 def _pack_tensor_payload(
-    meta: Dict, arrays: Dict[str, np.ndarray], *, compression: str, wire_dtype: str
+    meta: Dict,
+    arrays: Dict[str, np.ndarray],
+    *,
+    compression: str,
+    wire_dtype: str,
+    packed: bool = False,
 ) -> bytes:
     if compression not in COMPRESSIONS:
         raise ValueError(
@@ -174,10 +203,11 @@ def _pack_tensor_payload(
     meta = dict(meta)
     meta["wire_dtype"] = wire_dtype
     meta_bytes = encode_json(meta)
-    blob = state_to_bytes(
-        arrays, dtype=wire_dtype, compress=(compression == "zlib")
-    )
+    serialize = pack_state if packed else state_to_bytes
+    blob = serialize(arrays, dtype=wire_dtype, compress=(compression == "zlib"))
     flags = _FLAG_ZLIB if compression == "zlib" else 0
+    if packed:
+        flags |= _FLAG_PACKED
     return (
         bytes([flags]) + _META_LEN.pack(len(meta_bytes)) + meta_bytes + blob
     )
@@ -190,7 +220,7 @@ def _unpack_tensor_payload(payload: bytes) -> Tuple[Dict, Dict[str, np.ndarray]]
             "fixed preamble"
         )
     flags = payload[0]
-    if flags & ~_FLAG_ZLIB:
+    if flags & ~_KNOWN_FLAGS:
         raise ProtocolError(f"tensor payload sets unknown flags {flags:#04x}")
     (meta_len,) = _META_LEN.unpack_from(payload, 1)
     blob_start = 1 + _META_LEN.size + meta_len
@@ -200,11 +230,12 @@ def _unpack_tensor_payload(payload: bytes) -> Tuple[Dict, Dict[str, np.ndarray]]
             f"only {len(payload) - 1 - _META_LEN.size} bytes follow"
         )
     meta = decode_json(payload[1 + _META_LEN.size : blob_start])
+    deserialize = unpack_state if flags & _FLAG_PACKED else bytes_to_state
     try:
-        arrays = bytes_to_state(
+        arrays = deserialize(
             payload[blob_start:], compressed=bool(flags & _FLAG_ZLIB)
         )
-    except Exception as exc:  # corrupt zlib/npz container
+    except Exception as exc:  # corrupt zlib/npz/packed container
         raise ProtocolError(f"corrupt tensor blob: {exc}") from exc
     return meta, arrays
 
@@ -223,9 +254,14 @@ def encode_task(
     *,
     compression: str = "none",
     wire_dtype: str = "float64",
+    packed: bool = False,
 ) -> bytes:
     """A :class:`LocalStepTask` as a tensor payload (``seq`` matches the
-    reply to the request on a pipelined connection)."""
+    reply to the request on a pipelined connection).
+
+    ``packed=True`` ships the state blob in the compact
+    :func:`~repro.nn.serialize.pack_state` format — only for receivers
+    that advertised the ``delta`` hello capability."""
     meta = {
         "seq": seq,
         "participant_id": task.participant_id,
@@ -234,8 +270,22 @@ def encode_task(
         "mask_normal": list(task.mask.normal),
         "mask_reduce": list(task.mask.reduce),
     }
+    # Delta-dispatch metadata is emitted only when present, so payloads
+    # of version-free tasks are byte-for-byte the historical format.
+    if task.state_versions is not None:
+        meta["state_versions"] = {
+            name: int(task.state_versions[name]) for name in task.state
+        }
+    if task.state_refs:
+        meta["state_refs"] = {
+            name: int(version) for name, version in task.state_refs.items()
+        }
     return _pack_tensor_payload(
-        meta, task.state, compression=compression, wire_dtype=wire_dtype
+        meta,
+        task.state,
+        compression=compression,
+        wire_dtype=wire_dtype,
+        packed=packed,
     )
 
 
@@ -255,14 +305,26 @@ def decode_task(payload: bytes) -> Tuple[LocalStepTask, int]:
             tuple(int(i) for i in meta["mask_normal"]),
             tuple(int(i) for i in meta["mask_reduce"]),
         )
+        versions = meta.get("state_versions")
+        refs = meta.get("state_refs")
         task = LocalStepTask(
             participant_id=int(meta["participant_id"]),
             round_index=int(meta["round_index"]),
             mask=mask,
             state=state,
             batch_seed=int(meta["batch_seed"]),
+            state_versions=(
+                None
+                if versions is None
+                else {str(k): int(v) for k, v in versions.items()}
+            ),
+            state_refs=(
+                None
+                if refs is None
+                else {str(k): int(v) for k, v in refs.items()}
+            ),
         )
-    except (TypeError, ValueError) as exc:
+    except (TypeError, ValueError, AttributeError) as exc:
         raise ProtocolError(f"malformed task meta: {exc}") from exc
     return task, int(meta["seq"])
 

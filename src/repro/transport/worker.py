@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 from repro.federated.executor import ParticipantSpec
 from repro.federated.participant import run_local_step
+from repro.federated.versioning import DeltaCacheMiss, resolve_task
 from repro.search_space import SupernetConfig
 
 from . import codec
@@ -85,6 +86,12 @@ class WorkerServer:
         self._supernet_config: Optional[SupernetConfig] = None
         self._compression = "none"
         self._wire_dtype = "float64"
+        #: delta-dispatch parameter cache (name → (version, array)).  It
+        #: survives connection drops — a server that reconnects without
+        #: re-registering keeps its deltas valid — but is cleared on
+        #: every MSG_INIT, so a *new* server registration (including one
+        #: resumed from a checkpoint) always starts from a cold cache.
+        self._param_cache: Dict[str, tuple] = {}
         self._running = False
         self.tasks_completed = 0
         self.connections_served = 0
@@ -160,6 +167,10 @@ class WorkerServer:
                         "compression": self._compression,
                         "wire_dtype": self._wire_dtype,
                         "num_specs": len(self._specs),
+                        # capability flag: this daemon resolves
+                        # delta-encoded tasks (state_refs) against its
+                        # persistent parameter cache
+                        "delta": True,
                     }
                 ),
             )
@@ -172,6 +183,9 @@ class WorkerServer:
                 return False
             self._specs = {spec.participant_id: spec for spec in specs}
             self._supernet_config = supernet_config
+            # A registration starts a new server timeline: versions from
+            # the previous one must never satisfy a delta reference.
+            self._param_cache.clear()
             conn.send_frame(
                 MSG_ACK, codec.encode_json({"num_specs": len(self._specs)})
             )
@@ -193,6 +207,20 @@ class WorkerServer:
         seq = -1
         try:
             task, seq = codec.decode_task(payload)
+            if task.state_versions is not None or task.state_refs:
+                try:
+                    task = resolve_task(task, self._param_cache)
+                except DeltaCacheMiss as miss:
+                    conn.send_frame(
+                        MSG_ERROR,
+                        codec.encode_error(
+                            seq,
+                            f"delta cache miss: {miss}",
+                            code="cache_miss",
+                            missing=len(miss.missing),
+                        ),
+                    )
+                    return
             spec = self._specs.get(task.participant_id)
             if spec is None or self._supernet_config is None:
                 raise RuntimeError(

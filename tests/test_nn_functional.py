@@ -17,6 +17,36 @@ def leaf(shape, scale=1.0):
     return Tensor(RNG.normal(0, scale, size=shape), requires_grad=True)
 
 
+class TestWindowExtraction:
+    """The sliding_window_view fast path must equal the KH*KW loop
+    reference for every stride/dilation/kernel combination."""
+
+    @pytest.mark.parametrize("kernel", [(1, 1), (3, 3), (2, 4), (5, 1)])
+    @pytest.mark.parametrize("stride", [(1, 1), (2, 2), (1, 3)])
+    @pytest.mark.parametrize("dilation", [(1, 1), (2, 2), (3, 1)])
+    def test_fast_path_equals_loop(self, kernel, stride, dilation):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 14, 15))
+        kh, kw = kernel
+        eh = dilation[0] * (kh - 1) + 1
+        ew = dilation[1] * (kw - 1) + 1
+        oh = (x.shape[2] - eh) // stride[0] + 1
+        ow = (x.shape[3] - ew) // stride[1] + 1
+        fast = F._extract_windows(x, kernel, stride, dilation, (oh, ow))
+        loop = F._extract_windows_loop(x, kernel, stride, dilation, (oh, ow))
+        assert fast.shape == loop.shape == (2, 3, kh, kw, oh, ow)
+        assert fast.dtype == loop.dtype
+        np.testing.assert_array_equal(fast, loop)
+        assert fast.flags["C_CONTIGUOUS"]
+
+    def test_float32_dtype_preserved(self):
+        x = np.arange(48, dtype=np.float32).reshape(1, 1, 6, 8)
+        fast = F._extract_windows(x, (2, 2), (2, 2), (1, 1), (3, 4))
+        loop = F._extract_windows_loop(x, (2, 2), (2, 2), (1, 1), (3, 4))
+        assert fast.dtype == np.float32
+        np.testing.assert_array_equal(fast, loop)
+
+
 class TestConv2d:
     def test_output_shape_basic(self):
         x = leaf((2, 3, 8, 8))
