@@ -7,17 +7,22 @@ short federated search at them with ``backend="socket"`` and explicit
 ``socket_workers`` addresses.  Afterwards it prints what moved on the
 wire (measured bytes, task RTTs, per-round traffic) and shows that the
 daemons survive the run: the backend disconnects from external workers
-on close instead of shutting them down.
+on close instead of shutting them down.  The run is traced
+(``tracing_enabled`` + ``trace_ops``): afterwards it prints the
+critical-path blame per round and exports a Chrome/Perfetto trace —
+the equivalent of ``python -m repro trace run.jsonl --chrome out.json``.
 
 Everything here also works with zero configuration: drop the
 ``socket_workers`` line (or set ``REPRO_BACKEND=socket``) and the
 backend spawns and manages local daemons by itself.
 """
 
+import json
 import os
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -25,7 +30,12 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 sys.path.insert(0, str(SRC))
 
 from repro.core import ExperimentConfig, FederatedModelSearch  # noqa: E402
-from repro.telemetry import Telemetry  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    Telemetry,
+    export_chrome_trace,
+    load_events,
+    summarize_trace,
+)
 from repro.transport import READY_PREFIX  # noqa: E402
 
 
@@ -54,6 +64,7 @@ def main() -> None:
     for proc, address in daemons:
         print(f"  worker pid={proc.pid} at {address}")
 
+    log_path = Path(tempfile.mkdtemp(prefix="repro-tour-")) / "run.jsonl"
     config = ExperimentConfig.small(
         seed=0,
         num_participants=4,
@@ -64,6 +75,9 @@ def main() -> None:
         socket_workers=addresses,
         measure_wire_bytes=True,  # exact npz sizes alongside Fig. 7 estimate
         delta_dispatch=True,  # ship only changed params after round 1
+        tracing_enabled=True,  # cross-process spans on every task
+        trace_ops=True,  # per-op forward profile on the workers
+        telemetry_log_path=str(log_path),
     )
     pipeline = FederatedModelSearch(config)
     print(f"\nsearching over {addresses} (backend={pipeline.backend.name}) ...")
@@ -113,6 +127,41 @@ def main() -> None:
         print(f"  served from worker caches: {cached:,} "
               f"({100.0 * cached / total:.1f}% cache hit)")
         print(f"  full syncs: {full_syncs}, cache misses: {misses}")
+
+    # ------------------------------------------------------------------
+    # Distributed tracing: merge the worker spans back out of the run
+    # log, show where each round's wall time went, and export a Chrome
+    # trace (same as `python -m repro trace run.jsonl --chrome out.json`).
+    # ------------------------------------------------------------------
+    pipeline.telemetry.close()  # flush the JSONL sink
+    events = load_events(log_path)
+    summary = summarize_trace(events)
+    critical = summary.get("critical_path")
+    if critical:
+        blame = critical["blame"]
+        print("\ncritical path blame across traced rounds:")
+        for part, fraction in sorted(
+            blame.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            print(f"  {part:<9} {100.0 * fraction:5.1f}%")
+        slowest = max(critical["rounds"], key=lambda r: r["wall_s"])
+        print(
+            f"  slowest round: {slowest['phase']} round {slowest['round']} "
+            f"({slowest['wall_s'] * 1e3:.0f} ms, critical task on worker "
+            f"{slowest['worker']})"
+        )
+    if summary.get("ops"):
+        hottest = summary["ops"][0]
+        print(
+            f"hottest op: {hottest['op']} [{hottest['shape']}] — "
+            f"{hottest['count']} calls, "
+            f"{hottest['total_s'] * 1e3:.1f} ms total forward time"
+        )
+    chrome_path = log_path.with_suffix(".chrome.json")
+    with open(chrome_path, "w") as handle:
+        json.dump(export_chrome_trace(events), handle)
+    print(f"chrome trace written to {chrome_path} "
+          f"(open in chrome://tracing or ui.perfetto.dev)")
 
     # ------------------------------------------------------------------
     # The daemons are still alive — close() never shuts down workers it

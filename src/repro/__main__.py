@@ -145,6 +145,18 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPars
         help="disable telemetry entirely (null sink, near-zero overhead)",
     )
     parser.add_argument(
+        "--tracing", action="store_true",
+        help="distributed tracing: tasks carry a trace context, workers "
+        "time local-step phases, and span trees merge into the round "
+        "timeline (default: $REPRO_TRACING; seeded results are "
+        "bit-identical with tracing off or on)",
+    )
+    parser.add_argument(
+        "--trace-ops", action="store_true",
+        help="with --tracing: also profile per-op repro.nn forward time "
+        "inside traced local steps (keyed by op name and input shape)",
+    )
+    parser.add_argument(
         "--metrics", action="store_true",
         help="print the final metrics snapshot as Markdown tables",
     )
@@ -185,6 +197,16 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         "--rounds", type=int, default=20, metavar="N",
         help="cap the per-round table at N rows (default: 20)",
     )
+    parser.add_argument(
+        "--chrome", default=None, metavar="OUT.JSON",
+        help="also export a Chrome/Perfetto trace-event JSON file "
+        "(open at chrome://tracing or ui.perfetto.dev); one track per "
+        "worker plus the server span track",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full summary dict as JSON instead of the report",
+    )
     return parser
 
 
@@ -201,6 +223,12 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         "--idle-timeout", type=float, default=None, metavar="SECONDS",
         help="exit after this long with no server connection "
         "(default: run until shut down)",
+    )
+    parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="do not advertise the tracing capability (behave like a "
+        "pre-tracing worker; servers then strip trace contexts for "
+        "this daemon)",
     )
     return parser
 
@@ -305,6 +333,11 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["telemetry_log_path"] = args.telemetry_log
     if getattr(args, "no_telemetry", False):
         overrides["telemetry_enabled"] = False
+    if getattr(args, "tracing", False):
+        overrides["tracing_enabled"] = True
+    if getattr(args, "trace_ops", False):
+        overrides["tracing_enabled"] = True
+        overrides["trace_ops"] = True
     if getattr(args, "faults", None):
         overrides["fault_plan_path"] = args.faults
     if getattr(args, "no_validation", False):
@@ -396,18 +429,43 @@ def trace_main(argv=None) -> int:
 
 
 def _trace_main(args: argparse.Namespace) -> int:
-    from .telemetry import load_events, render_trace, summarize_trace
+    import warnings
+
+    from .telemetry import (
+        export_chrome_trace,
+        load_events,
+        render_trace,
+        summarize_trace,
+    )
 
     try:
-        events = load_events(args.path)
+        with warnings.catch_warnings():
+            # Malformed lines (truncated tail of a killed run) are
+            # counted and surfaced in the report instead of warned.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            events = load_events(args.path)
     except OSError as exc:
         print(f"error: cannot read run log: {exc}", file=sys.stderr)
         return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if getattr(events, "malformed_lines", 0):
+        print(
+            f"warning: skipped {events.malformed_lines} malformed JSONL "
+            f"line(s) in {args.path}",
+            file=sys.stderr,
+        )
+    chrome_path = getattr(args, "chrome", None)
+    if chrome_path:
+        with open(chrome_path, "w", encoding="utf-8") as handle:
+            json.dump(export_chrome_trace(events), handle)
+        print(f"chrome trace written to {chrome_path}", file=sys.stderr)
     summary = summarize_trace(events)
-    print(render_trace(summary, top=args.top, max_round_rows=args.rounds))
+    if getattr(args, "json", False):
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_trace(summary, top=args.top, max_round_rows=args.rounds))
     return 0
 
 
@@ -415,7 +473,12 @@ def serve_main(args: argparse.Namespace) -> int:
     from .transport import serve
 
     try:
-        serve(host=args.host, port=args.port, idle_timeout_s=args.idle_timeout)
+        serve(
+            host=args.host,
+            port=args.port,
+            idle_timeout_s=args.idle_timeout,
+            tracing=not getattr(args, "no_tracing", False),
+        )
     except KeyboardInterrupt:
         pass
     except OSError as exc:

@@ -53,6 +53,18 @@ def _default_delta_dispatch() -> bool:
         "1", "true", "yes", "on"
     )
 
+
+def _default_tracing() -> bool:
+    """Distributed-tracing default: ``$REPRO_TRACING`` when set.
+
+    Same contract as :func:`_default_backend` — the environment hook
+    flips a whole test/CI run to traced execution without touching call
+    sites; an explicit ``tracing_enabled=`` argument always wins.
+    """
+    return os.environ.get("REPRO_TRACING", "").lower() in (
+        "1", "true", "yes", "on"
+    )
+
 #: Verbatim Table I values (name -> value), kept as a reference artefact
 #: that the Table I bench prints and the paper() profile is built from.
 TABLE1_DEFAULTS = {
@@ -235,6 +247,17 @@ class ExperimentConfig:
     telemetry_enabled: bool = True
     telemetry_log_path: Optional[str] = None
     telemetry_buffer_size: int = 65536
+    #: distributed tracing (:mod:`repro.telemetry.tracing`): every
+    #: dispatched task carries a trace context, workers time the local
+    #: step's phases, and the spans ride back on the update for the
+    #: round timeline / ``repro trace --chrome`` export.  Requires
+    #: telemetry; RNG-neutral — seeded results are bit-identical with
+    #: tracing off or on.
+    tracing_enabled: bool = dataclasses.field(default_factory=_default_tracing)
+    #: opt-in per-op ``repro.nn`` forward profiling inside traced local
+    #: steps (keyed by op name and input shape); implies ``tracing_enabled``
+    #: semantics only when tracing is on.
+    trace_ops: bool = False
 
     # Robustness (see :mod:`repro.federated.validation` and
     # :mod:`repro.faults`): the server-side update trust boundary and

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 from repro.data import ArrayDataset, Compose
 from repro.search_space import SupernetConfig
 from repro.telemetry import Telemetry
+from repro.telemetry.tracing import SpanRecorder, emit_task_trace, null_span
 
 from .participant import (
     GTX_1080TI,
@@ -173,9 +174,30 @@ class SerialBackend:
             start = time.perf_counter()
             if self._fault_hook is not None:
                 self._fault_hook(task)
-            update = self._participants[task.participant_id].execute_task(
-                task, self._supernet_config
-            )
+            recorder = None
+            dispatch_ts = 0.0
+            if task.trace is not None:
+                dispatch_ts = telemetry.now()
+                recorder = SpanRecorder(profile_ops=task.trace.profile_ops)
+            try:
+                update = self._participants[task.participant_id].execute_task(
+                    task, self._supernet_config, recorder=recorder
+                )
+            except BaseException:
+                if recorder is not None:
+                    recorder.abort()
+                raise
+            if recorder is not None:
+                update.spans = recorder.payload()
+                emit_task_trace(
+                    telemetry,
+                    backend=self.name,
+                    task=task,
+                    update=update,
+                    dispatch_ts=dispatch_ts,
+                    receive_ts=telemetry.now(),
+                    worker="local",
+                )
             wall = time.perf_counter() - start
             if telemetry.enabled:
                 telemetry.observe("executor.task_queue_s", 0.0)
@@ -227,26 +249,45 @@ def _run_task(task: LocalStepTask):
     the task in full (a full task can never miss).
     """
     pid = os.getpid()
-    if task.state_versions is not None or task.state_refs:
-        try:
-            task = resolve_task(task, _WORKER_STATE.setdefault("param_cache", {}))
-        except DeltaCacheMiss as miss:
-            return _CACHE_MISS, miss.missing, pid
-    hook = _WORKER_STATE.get("fault_hook")
-    if hook is not None:
-        hook(task)
-    specs: Dict[int, ParticipantSpec] = _WORKER_STATE["specs"]  # type: ignore[assignment]
-    spec = specs[task.participant_id]
-    start = time.perf_counter()
-    update = run_local_step(
-        task,
-        spec.dataset,
-        spec.batch_size,
-        _WORKER_STATE["supernet_config"],  # type: ignore[arg-type]
-        transform=spec.transform,
-        device=spec.device,
-    )
-    return update, time.perf_counter() - start, pid
+    recorder = None
+    if task.trace is not None:
+        recorder = SpanRecorder(profile_ops=task.trace.profile_ops)
+    span = recorder.span if recorder is not None else null_span
+    try:
+        if task.state_versions is not None or task.state_refs:
+            try:
+                with span("deserialize"):
+                    task = resolve_task(
+                        task, _WORKER_STATE.setdefault("param_cache", {})
+                    )
+            except DeltaCacheMiss as miss:
+                if recorder is not None:
+                    recorder.abort()
+                return _CACHE_MISS, miss.missing, pid
+        hook = _WORKER_STATE.get("fault_hook")
+        if hook is not None:
+            hook(task)
+        specs: Dict[int, ParticipantSpec] = _WORKER_STATE["specs"]  # type: ignore[assignment]
+        spec = specs[task.participant_id]
+        start = time.perf_counter()
+        update = run_local_step(
+            task,
+            spec.dataset,
+            spec.batch_size,
+            _WORKER_STATE["supernet_config"],  # type: ignore[arg-type]
+            transform=spec.transform,
+            device=spec.device,
+            recorder=recorder,
+        )
+        wall = time.perf_counter() - start
+        if recorder is not None:
+            update.spans = recorder.payload()
+        return update, wall, pid
+    except BaseException:
+        # The op hook is process-global in this worker — never leak it.
+        if recorder is not None:
+            recorder.abort()
+        raise
 
 
 class ProcessPoolBackend:
@@ -369,15 +410,22 @@ class ProcessPoolBackend:
                     participant=task.participant_id,
                 )
             submissions.append(
-                (wire_task, pool.apply_async(_run_task, (wire_task,)), time.perf_counter())
+                (
+                    wire_task,
+                    pool.apply_async(_run_task, (wire_task,)),
+                    time.perf_counter(),
+                    telemetry.now(),
+                )
             )
         if telemetry.enabled:
             telemetry.gauge("executor.inflight", len(tasks))
 
         results: List[TaskResult] = []
         for position, task in enumerate(tasks):
-            wire_task, handle, submitted_at = submissions[position]
-            results.append(self._collect(task, wire_task, handle, submitted_at, stats))
+            wire_task, handle, submitted_at, dispatch_ts = submissions[position]
+            results.append(
+                self._collect(task, wire_task, handle, submitted_at, dispatch_ts, stats)
+            )
             if telemetry.enabled:
                 telemetry.gauge("executor.inflight", len(tasks) - position - 1)
         if self.delta_dispatch and telemetry.enabled and tasks:
@@ -454,6 +502,7 @@ class ProcessPoolBackend:
         wire_task: LocalStepTask,
         handle,
         submitted_at: float,
+        dispatch_ts: float,
         stats: Dict[str, int],
     ) -> TaskResult:
         telemetry = self.telemetry
@@ -484,11 +533,21 @@ class ProcessPoolBackend:
                     wire_task = task
                     handle = self._ensure_pool().apply_async(_run_task, (task,))
                     submitted_at = time.perf_counter()
+                    dispatch_ts = telemetry.now()
                     continue
                 update, compute_wall, pid = reply
                 self._record_ack(pid, wire_task)
                 turnaround = time.perf_counter() - submitted_at
                 queue_s = max(0.0, turnaround - compute_wall)
+                emit_task_trace(
+                    telemetry,
+                    backend=self.name,
+                    task=task,
+                    update=update,
+                    dispatch_ts=dispatch_ts,
+                    receive_ts=telemetry.now(),
+                    worker=str(pid),
+                )
                 if telemetry.enabled:
                     telemetry.observe("executor.task_queue_s", queue_s)
                     telemetry.observe("executor.task_compute_s", compute_wall)
@@ -534,6 +593,7 @@ class ProcessPoolBackend:
             wire_task = task
             handle = self._ensure_pool().apply_async(_run_task, (task,))
             submitted_at = time.perf_counter()
+            dispatch_ts = telemetry.now()
 
     def close(self) -> None:
         if self._pool is not None:

@@ -32,6 +32,7 @@ from repro.evaluation import batch_accuracy
 from repro.network import BandwidthTrace
 from repro.search_space import ArchitectureMask, Supernet, SupernetConfig
 from repro.telemetry import Telemetry
+from repro.telemetry.tracing import SpanRecorder, TraceContext, null_span
 
 __all__ = [
     "DeviceProfile",
@@ -100,6 +101,11 @@ class LocalStepTask:
     #: hold in its cache (see :mod:`repro.federated.versioning`).  Always
     #: ``None`` by the time the task reaches ``run_local_step``.
     state_refs: Optional[Dict[str, int]] = None
+    #: Distributed-tracing context (:mod:`repro.telemetry.tracing`);
+    #: ``None`` when tracing is off.  Backends strip it for workers that
+    #: did not advertise the ``tracing`` capability, so tracing-off wire
+    #: bytes stay byte-identical to the historical format.
+    trace: Optional[TraceContext] = None
 
 
 @dataclasses.dataclass
@@ -118,6 +124,11 @@ class ParticipantUpdate:
     num_samples: int
     compute_time_s: float
     buffers: Dict[str, np.ndarray] = dataclasses.field(default_factory=dict)
+    #: Worker-side span payload (:meth:`SpanRecorder.payload`) when the
+    #: task carried a trace context; piggybacked back to the server and
+    #: merged into the round timeline by the backend.  ``None`` when
+    #: tracing is off — it never influences aggregation.
+    spans: Optional[Dict] = None
 
 
 def _train_on_batch(
@@ -126,22 +137,33 @@ def _train_on_batch(
     y: np.ndarray,
     participant_id: int,
     device: DeviceProfile,
+    recorder: Optional[SpanRecorder] = None,
 ) -> ParticipantUpdate:
-    """One forward/backward pass on ``(x, y)`` (Alg. 1 lines 40-42)."""
+    """One forward/backward pass on ``(x, y)`` (Alg. 1 lines 40-42).
+
+    ``recorder`` (tracing) only brackets the phases with span timers —
+    the numerics are untouched, so traced and untraced steps produce
+    bit-identical updates.
+    """
+    span = recorder.span if recorder is not None else null_span
     submodel.train()
     submodel.zero_grad()
-    logits = submodel(x)
-    loss = nn.functional.cross_entropy(logits, y)
-    loss.backward()
-    gradients = {
-        name: param.grad.copy()
-        for name, param in submodel.named_parameters()
-        if param.grad is not None
-    }
-    buffers = {
-        name: np.array(value, copy=True) for name, value in submodel.named_buffers()
-    }
-    reward = batch_accuracy(logits, y)
+    with span("forward"):
+        logits = submodel(x)
+        loss = nn.functional.cross_entropy(logits, y)
+    with span("backward"):
+        loss.backward()
+    with span("pack"):
+        gradients = {
+            name: param.grad.copy()
+            for name, param in submodel.named_parameters()
+            if param.grad is not None
+        }
+        buffers = {
+            name: np.array(value, copy=True)
+            for name, value in submodel.named_buffers()
+        }
+        reward = batch_accuracy(logits, y)
     compute_time = device.train_time(submodel.num_parameters(), len(y))
     return ParticipantUpdate(
         participant_id=participant_id,
@@ -160,6 +182,7 @@ def run_local_step(
     supernet_config: SupernetConfig,
     transform: Optional[Compose] = None,
     device: DeviceProfile = GTX_1080TI,
+    recorder: Optional[SpanRecorder] = None,
 ) -> ParticipantUpdate:
     """Execute one :class:`LocalStepTask` — the pure server↔participant step.
 
@@ -167,20 +190,26 @@ def run_local_step(
     local mini-batch from ``task.batch_seed``, and runs one
     forward/backward pass.  Every source of randomness is in the task, so
     the same task always yields the same :class:`ParticipantUpdate`, in
-    any process, under any scheduling order.
+    any process, under any scheduling order.  When a ``recorder`` is
+    given the phases are bracketed with worker-side spans ("build",
+    "forward", "backward", "pack") — timing only, never numerics.
     """
-    submodel = Supernet(
-        supernet_config, rng=np.random.default_rng(0), mask=task.mask
+    span = recorder.span if recorder is not None else null_span
+    with span("build"):
+        submodel = Supernet(
+            supernet_config, rng=np.random.default_rng(0), mask=task.mask
+        )
+        submodel.load_state_dict(dict(task.state))
+        loader = DataLoader(
+            dataset,
+            batch_size=min(batch_size, len(dataset)),
+            transform=transform,
+            rng=np.random.default_rng(task.batch_seed),
+        )
+        x, y = loader.sample_batch()
+    return _train_on_batch(
+        submodel, x, y, task.participant_id, device, recorder=recorder
     )
-    submodel.load_state_dict(dict(task.state))
-    loader = DataLoader(
-        dataset,
-        batch_size=min(batch_size, len(dataset)),
-        transform=transform,
-        rng=np.random.default_rng(task.batch_seed),
-    )
-    x, y = loader.sample_batch()
-    return _train_on_batch(submodel, x, y, task.participant_id, device)
 
 
 class Participant:
@@ -242,7 +271,10 @@ class Participant:
         return int(self.rng.integers(0, 2**63))
 
     def execute_task(
-        self, task: LocalStepTask, supernet_config: SupernetConfig
+        self,
+        task: LocalStepTask,
+        supernet_config: SupernetConfig,
+        recorder: Optional[SpanRecorder] = None,
     ) -> ParticipantUpdate:
         """Run one :class:`LocalStepTask` in-process (the serial backend)."""
         with self.telemetry.span(
@@ -255,6 +287,7 @@ class Participant:
                 supernet_config,
                 transform=self.loader.transform,
                 device=self.device,
+                recorder=recorder,
             )
 
     def local_update(self, submodel: Supernet) -> ParticipantUpdate:

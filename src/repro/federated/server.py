@@ -38,6 +38,7 @@ from repro.network import BandwidthTrace, round_transmission
 from repro.nn import payload_size_bytes, state_size_bytes
 from repro.search_space import ArchitectureMask, Genotype, Supernet, derive_genotype
 from repro.telemetry import Telemetry
+from repro.telemetry.tracing import TraceContext
 
 from .compensation import compensate_alpha_gradient, compensate_weight_gradients
 from .executor import ExecutionBackend, SerialBackend
@@ -277,10 +278,19 @@ class FederatedSearchServer:
             )
 
             tasks: List[LocalStepTask] = []
+            tracing = telemetry.enabled and telemetry.tracing
             for slot, k in enumerate(online):
                 mask = masks[assignment[slot]]
                 state = states[assignment[slot]]
                 self.pools.save_mask(t, k, mask)
+                trace = None
+                if tracing:
+                    trace = TraceContext(
+                        trace_id=telemetry.trace_id,
+                        parent_span_id=telemetry.current_span_id,
+                        dispatch_ts=telemetry.now(),
+                        profile_ops=telemetry.trace_ops,
+                    )
                 tasks.append(
                     LocalStepTask(
                         participant_id=k,
@@ -289,6 +299,7 @@ class FederatedSearchServer:
                         state=state,
                         batch_seed=self.participants[k].draw_batch_seed(),
                         state_versions=self.versions.subset(state),
+                        trace=trace,
                     )
                 )
                 if telemetry.enabled:

@@ -24,6 +24,7 @@ from .modules import (
     ReLU,
     Sequential,
     Zero,
+    set_forward_hook,
 )
 from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
 from .serialize import (
@@ -51,6 +52,7 @@ __all__ = [
     "is_grad_enabled",
     "Parameter",
     "Module",
+    "set_forward_hook",
     "Sequential",
     "ModuleList",
     "Identity",

@@ -9,8 +9,9 @@ top of :mod:`repro.nn.functional`.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from .tensor import Tensor, as_tensor
 __all__ = [
     "Parameter",
     "Module",
+    "set_forward_hook",
     "Sequential",
     "ModuleList",
     "Identity",
@@ -42,6 +44,29 @@ class Parameter(Tensor):
 
     def __init__(self, data: np.ndarray):
         super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+#: Optional process-global forward profiling hook (see
+#: :func:`set_forward_hook`).  ``None`` keeps ``Module.__call__`` on the
+#: historical zero-overhead path — one global read per call.
+_FORWARD_HOOK: Optional[Callable] = None
+
+
+def set_forward_hook(hook: Optional[Callable]) -> Optional[Callable]:
+    """Install (or clear, with ``None``) the per-op forward hook.
+
+    While installed, every ``Module.__call__`` invokes
+    ``hook(module, args, duration_s)`` after ``forward`` returns, where
+    ``duration_s`` is the *inclusive* wall time of the call (nested
+    module calls fire their own hook).  Returns the previously installed
+    hook so profilers can nest and restore.  The hook is observation
+    only: it must not mutate tensors, and nothing on this path touches
+    an RNG — seeded results are bit-identical with a hook installed.
+    """
+    global _FORWARD_HOOK
+    previous = _FORWARD_HOOK
+    _FORWARD_HOOK = hook
+    return previous
 
 
 class Module:
@@ -178,7 +203,13 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        hook = _FORWARD_HOOK
+        if hook is None:
+            return self.forward(*args, **kwargs)
+        start = time.perf_counter()
+        out = self.forward(*args, **kwargs)
+        hook(self, args, time.perf_counter() - start)
+        return out
 
 
 class Sequential(Module):

@@ -25,11 +25,29 @@ with telemetry enabled or disabled.
 from .core import Telemetry, build_telemetry
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .sinks import EventSink, JsonlFileSink, MemorySink, NullSink, TeeSink
-from .trace import load_events, render_trace, summarize_trace
+from .trace import (
+    export_chrome_trace,
+    load_events,
+    render_trace,
+    summarize_trace,
+)
+from .tracing import (
+    OpProfiler,
+    SpanRecorder,
+    TraceContext,
+    emit_task_trace,
+    merge_task_spans,
+)
 
 __all__ = [
     "Telemetry",
     "build_telemetry",
+    "TraceContext",
+    "SpanRecorder",
+    "OpProfiler",
+    "merge_task_spans",
+    "emit_task_trace",
+    "export_chrome_trace",
     "Counter",
     "Gauge",
     "Histogram",

@@ -13,8 +13,9 @@ never perturb seeded results.
 from __future__ import annotations
 
 import contextlib
+import os
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .metrics import MetricsRegistry
 from .sinks import EventSink, JsonlFileSink, MemorySink, NullSink, TeeSink
@@ -38,9 +39,19 @@ class Telemetry:
         self.enabled = enabled
         self.sink: EventSink = sink if sink is not None else MemorySink()
         self.metrics = MetricsRegistry()
+        #: distributed tracing (see :mod:`repro.telemetry.tracing`):
+        #: when True the server attaches a trace context to every
+        #: dispatched task and backends merge the worker span trees it
+        #: earns back into this timeline.  Requires ``enabled``.
+        self.tracing = False
+        #: opt-in per-op ``repro.nn`` profiling inside traced local steps
+        self.trace_ops = False
+        #: run-scoped trace identifier carried by every trace context
+        self.trace_id = f"{os.getpid():x}-{int(time.time() * 1e6) & 0xFFFFFFFF:08x}"
         self._seq = 0
+        self._span_id = 0
         self._t0 = time.perf_counter()
-        self._span_stack: List[str] = []
+        self._span_stack: List[Tuple[str, int]] = []
 
     @staticmethod
     def disabled() -> "Telemetry":
@@ -63,6 +74,14 @@ class Telemetry:
         record.update(fields)
         self.sink.emit(record)
 
+    def now(self) -> float:
+        """Seconds on this handle's event timeline (same clock as ``ts``).
+
+        Backends use it to bracket task dispatch/receive so worker span
+        trees can be clock-offset-corrected onto the server timeline.
+        """
+        return time.perf_counter() - self._t0
+
     # ------------------------------------------------------------------
     # Spans
     # ------------------------------------------------------------------
@@ -70,17 +89,20 @@ class Telemetry:
     def span(self, name: str, **fields):
         """Time a block of work: ``with telemetry.span("search.round"):``.
 
-        Emits ``span_start``/``span_end`` events, records the wall-clock
-        duration into the ``span.<name>`` histogram, and restores the
-        span stack even when the block raises (the ``span_end`` event
-        then carries ``"error": True``).
+        Emits ``span_start``/``span_end`` events (each carrying a
+        process-unique ``span_id``), records the wall-clock duration into
+        the ``span.<name>`` histogram, and restores the span stack even
+        when the block raises (the ``span_end`` event then carries
+        ``"error": True``).
         """
         if not self.enabled:
             yield None
             return
         depth = len(self._span_stack)
-        self._span_stack.append(name)
-        self.emit("span_start", span=name, depth=depth, **fields)
+        self._span_id += 1
+        span_id = self._span_id
+        self._span_stack.append((name, span_id))
+        self.emit("span_start", span=name, span_id=span_id, depth=depth, **fields)
         start = time.perf_counter()
         error = False
         try:
@@ -92,14 +114,24 @@ class Telemetry:
             duration = time.perf_counter() - start
             self._span_stack.pop()
             self.metrics.histogram(f"span.{name}").observe(duration)
-            end_fields = dict(span=name, depth=depth, duration_s=round(duration, 6))
+            end_fields = dict(
+                span=name,
+                span_id=span_id,
+                depth=depth,
+                duration_s=round(duration, 6),
+            )
             if error:
                 end_fields["error"] = True
             self.emit("span_end", **end_fields)
 
     @property
     def current_span(self) -> Optional[str]:
-        return self._span_stack[-1] if self._span_stack else None
+        return self._span_stack[-1][0] if self._span_stack else None
+
+    @property
+    def current_span_id(self) -> int:
+        """ID of the innermost open span (0 when none is open)."""
+        return self._span_stack[-1][1] if self._span_stack else 0
 
     # ------------------------------------------------------------------
     # Metric shorthands (cheap early-outs when disabled)
@@ -143,7 +175,9 @@ def build_telemetry(config) -> Telemetry:
     Default: enabled with an in-memory ring buffer.  Setting
     ``telemetry_log_path`` adds a JSONL file sink (truncating any
     existing file so one path is one run); ``telemetry_enabled=False``
-    yields the no-op handle.
+    yields the no-op handle.  ``tracing_enabled``/``trace_ops`` switch on
+    distributed tracing (and per-op profiling) for the run; tracing
+    requires telemetry, so a disabled handle ignores both.
     """
     if not getattr(config, "telemetry_enabled", True):
         return Telemetry.disabled()
@@ -155,4 +189,9 @@ def build_telemetry(config) -> Telemetry:
         open(log_path, "w", encoding="utf-8").close()
         sinks.append(JsonlFileSink(log_path))
     sink = sinks[0] if len(sinks) == 1 else TeeSink(sinks)
-    return Telemetry(sink=sink)
+    telemetry = Telemetry(sink=sink)
+    telemetry.tracing = bool(getattr(config, "tracing_enabled", False))
+    telemetry.trace_ops = telemetry.tracing and bool(
+        getattr(config, "trace_ops", False)
+    )
+    return telemetry

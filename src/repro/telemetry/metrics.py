@@ -1,14 +1,16 @@
 """Counters, gauges, and streaming histograms for the search pipeline.
 
-The registry is dependency-free and deterministic: histograms decimate
-their reservoir with a fixed stride (no random sampling), so two runs
-that observe the same values report the same quantiles — and nothing
-here ever touches an RNG.
+The registry is dependency-free and deterministic: histograms downsample
+their reservoir with a private PRNG seeded from the *metric name*, so
+two runs that observe the same values report the same quantiles — and
+nothing here ever touches a global (or NumPy) RNG.
 """
 
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from typing import Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -48,10 +50,16 @@ class Histogram:
     """Streaming distribution summary with p50/p95/max.
 
     Exact ``count``/``sum``/``min``/``max`` are always maintained.
-    Quantiles come from a bounded reservoir: once ``max_samples``
-    observations are stored, the reservoir is thinned by keeping every
-    second sample and doubling the keep-stride — deterministic, order
-    preserving, and RNG-free (unlike classic reservoir sampling).
+    Quantiles come from a bounded reservoir (Vitter's Algorithm R): the
+    first ``max_samples`` observations are stored verbatim; the i-th
+    observation after that replaces a uniformly chosen slot with
+    probability ``max_samples / i``, so the reservoir stays a uniform
+    sample of everything seen.  The replacement draws come from a
+    *private* ``random.Random`` seeded with ``crc32(name)`` — the
+    downsampling is therefore a pure function of the metric name and the
+    observation sequence: two runs that observe the same values in the
+    same order report bit-identical quantiles, and no global or NumPy
+    RNG state is ever touched.
     """
 
     def __init__(self, name: str, max_samples: int = 8192):
@@ -64,8 +72,8 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._samples: List[float] = []
-        self._stride = 1
-        self._since_kept = 0
+        #: deterministic per-name reservoir RNG (never the global RNG)
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -77,13 +85,12 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        self._since_kept += 1
-        if self._since_kept >= self._stride:
-            self._since_kept = 0
+        if len(self._samples) < self.max_samples:
             self._samples.append(value)
-            if len(self._samples) >= self.max_samples:
-                self._samples = self._samples[::2]
-                self._stride *= 2
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self._samples[slot] = value
 
     @property
     def mean(self) -> float:

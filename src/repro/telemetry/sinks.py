@@ -59,25 +59,62 @@ class MemorySink(EventSink):
 
 
 class JsonlFileSink(EventSink):
-    """Appends one JSON object per line to ``path`` (the run log)."""
+    """Appends one JSON object per line to ``path`` (the run log).
 
-    def __init__(self, path: str):
+    Durability contract: the sink flushes whenever ``flush_every_events``
+    events or ``flush_every_bytes`` bytes have accumulated since the last
+    flush, so a run killed with ``kill -9`` loses at most the last
+    (small) unflushed batch — the log stays usable (any torn final line
+    is skipped by :func:`~repro.telemetry.load_events`).  Flushing
+    reaches the OS page cache, which survives process death.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        flush_every_events: int = 64,
+        flush_every_bytes: int = 32768,
+    ):
+        if flush_every_events < 1:
+            raise ValueError(
+                f"flush_every_events must be >= 1, got {flush_every_events}"
+            )
+        if flush_every_bytes < 1:
+            raise ValueError(
+                f"flush_every_bytes must be >= 1, got {flush_every_bytes}"
+            )
         self.path = str(path)
+        self.flush_every_events = int(flush_every_events)
+        self.flush_every_bytes = int(flush_every_bytes)
         self._file = open(self.path, "a", encoding="utf-8")
         self.total_emitted = 0
+        self._pending_events = 0
+        self._pending_bytes = 0
 
     def emit(self, event: Dict) -> None:
-        self._file.write(json.dumps(event, default=_jsonable) + "\n")
+        line = json.dumps(event, default=_jsonable) + "\n"
+        self._file.write(line)
         self.total_emitted += 1
+        self._pending_events += 1
+        self._pending_bytes += len(line)
+        if (
+            self._pending_events >= self.flush_every_events
+            or self._pending_bytes >= self.flush_every_bytes
+        ):
+            self.flush()
 
     def flush(self) -> None:
         if not self._file.closed:
             self._file.flush()
+        self._pending_events = 0
+        self._pending_bytes = 0
 
     def close(self) -> None:
         if not self._file.closed:
             self._file.flush()
             self._file.close()
+        self._pending_events = 0
+        self._pending_bytes = 0
 
 
 class TeeSink(EventSink):

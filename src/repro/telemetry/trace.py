@@ -14,23 +14,65 @@ from __future__ import annotations
 
 import collections
 import json
+import warnings
 from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["load_events", "summarize_trace", "render_trace"]
+__all__ = [
+    "load_events",
+    "summarize_trace",
+    "render_trace",
+    "export_chrome_trace",
+]
 
 
-def load_events(path: str) -> List[Dict]:
-    """Parse a JSONL run log; blank lines are skipped, order preserved."""
-    events = []
+class _EventList(List[Dict]):
+    """Events plus a count of the malformed lines dropped on load."""
+
+    malformed_lines: int = 0
+
+
+def load_events(path: str, strict: bool = False) -> List[Dict]:
+    """Parse a JSONL run log; blank lines are skipped, order preserved.
+
+    Malformed lines — the normal tail of a log whose writer was killed
+    mid-line, or a partial flush — are *skipped* with a warning; the
+    returned list carries the drop count as ``.malformed_lines`` and
+    :func:`summarize_trace` surfaces it.  Pass ``strict=True`` to raise
+    :class:`ValueError` on the first bad line instead.
+    """
+    events = _EventList()
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: bad JSONL line: {exc}") from exc
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: bad JSONL line: {exc}"
+                    ) from exc
+                events.malformed_lines += 1
+                warnings.warn(
+                    f"{path}:{lineno}: skipping malformed JSONL line ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+            else:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: JSONL line is not an object"
+                    )
+                events.malformed_lines += 1
+                warnings.warn(
+                    f"{path}:{lineno}: skipping non-object JSONL line",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     return events
 
 
@@ -45,6 +87,9 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
     timestamps: List[float] = []
     transport_rounds: List[Dict] = []
     dispatch_rounds: List[Dict] = []
+    open_round: Dict = {}
+    traced_rounds: List[Dict] = []
+    op_totals: Dict[tuple, List] = {}
 
     for event in events:
         name = event.get("event", "?")
@@ -80,7 +125,31 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
             latency = float(event.get("latency_s", 0.0))
             entry["latency_total_s"] += latency
             entry["latency_max_s"] = max(entry["latency_max_s"], latency)
+        elif name == "round_start":
+            if isinstance(ts, (int, float)):
+                open_round = {
+                    "round": int(event.get("round", -1)),
+                    "phase": event.get("phase", "?"),
+                    "start_ts": float(ts),
+                    "tasks": [],
+                }
+        elif name == "trace.task":
+            if open_round and open_round["round"] == int(event.get("round", -1)):
+                open_round["tasks"].append(event)
+            for op, shape, count, total in event.get("ops", []):
+                entry = op_totals.setdefault((str(op), str(shape)), [0, 0.0])
+                entry[0] += int(count)
+                entry[1] += float(total)
         elif name == "round_end":
+            if (
+                open_round
+                and open_round["round"] == int(event.get("round", -1))
+                and open_round["tasks"]
+                and isinstance(ts, (int, float))
+            ):
+                open_round["end_ts"] = float(ts)
+                traced_rounds.append(open_round)
+            open_round = {}
             rounds.append(
                 {
                     "round": int(event.get("round", -1)),
@@ -165,8 +234,70 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
             "cache_hit": (cached_total / total) if total else 0.0,
         }
 
+    critical_path = None
+    if traced_rounds:
+        crit_rows = []
+        for occ in traced_rounds:
+            # The round's makespan ends with the last update to land; the
+            # longest dispatch→compute→wire→aggregate chain runs through
+            # that task.  Blame decomposes the wall exactly (up to clock
+            # jitter where a worker reports busier than its bracket):
+            # wall = wait-before-dispatch + compute + wire + aggregate.
+            crit = max(occ["tasks"], key=lambda e: float(e.get("receive_ts", 0.0)))
+            wall = occ["end_ts"] - occ["start_ts"]
+            wait = float(crit.get("dispatch_ts", occ["start_ts"])) - occ["start_ts"]
+            compute = float(crit.get("busy_s", 0.0))
+            wire = float(crit.get("wire_s", 0.0))
+            aggregate = occ["end_ts"] - float(crit.get("receive_ts", occ["end_ts"]))
+            crit_rows.append(
+                {
+                    "round": occ["round"],
+                    "phase": occ["phase"],
+                    "wall_s": wall,
+                    "wait_s": max(0.0, wait),
+                    "compute_s": compute,
+                    "wire_s": wire,
+                    "aggregate_s": max(0.0, aggregate),
+                    "participant": int(crit.get("participant", -1)),
+                    "worker": str(crit.get("worker", "?")),
+                    "tasks": len(occ["tasks"]),
+                }
+            )
+        totals = {
+            key: sum(r[key] for r in crit_rows)
+            for key in ("wall_s", "wait_s", "compute_s", "wire_s", "aggregate_s")
+        }
+        # Normalize blame over the decomposed total rather than the raw
+        # wall: clamping and wire-precision rounding can leave the
+        # components a few microseconds off the bracketed wall, and the
+        # fractions should always sum to exactly 1.
+        blame_wall = (
+            totals["wait_s"] + totals["compute_s"]
+            + totals["wire_s"] + totals["aggregate_s"]
+        ) or totals["wall_s"] or 1.0
+        critical_path = {
+            "rounds": crit_rows,
+            "totals": totals,
+            "blame": {
+                "wait": totals["wait_s"] / blame_wall,
+                "compute": totals["compute_s"] / blame_wall,
+                "wire": totals["wire_s"] / blame_wall,
+                "aggregate": totals["aggregate_s"] / blame_wall,
+            },
+        }
+
+    ops = None
+    if op_totals:
+        ops = [
+            {"op": op, "shape": shape, "count": count, "total_s": total}
+            for (op, shape), (count, total) in sorted(
+                op_totals.items(), key=lambda item: item[1][1], reverse=True
+            )
+        ]
+
     return {
         "num_events": len(events),
+        "malformed_lines": int(getattr(events, "malformed_lines", 0)),
         "wall_s": (max(timestamps) - min(timestamps)) if timestamps else 0.0,
         "simulated_s": sum(r["duration_s"] for r in rounds),
         "phases": phases,
@@ -176,6 +307,8 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
         "rounds": rounds,
         "transport": transport,
         "dispatch": dispatch,
+        "critical_path": critical_path,
+        "ops": ops,
         "event_counts": dict(sorted(event_counts.items())),
     }
 
@@ -195,6 +328,11 @@ def render_trace(summary: Dict, top: int = 5, max_round_rows: int = 20) -> str:
         f"wall time: {summary['wall_s']:.3f} s   "
         f"simulated time: {summary['simulated_s']:.3f} s"
     )
+    if summary.get("malformed_lines"):
+        lines.append(
+            f"warning: skipped {summary['malformed_lines']} malformed "
+            "JSONL line(s) (truncated log tail?)"
+        )
 
     lines.append("")
     lines.append("## Per-phase time breakdown")
@@ -352,4 +490,161 @@ def render_trace(summary: Dict, top: int = 5, max_round_rows: int = 20) -> str:
                 f"... ({len(dispatch['rounds']) - len(shown)} more rounds)"
             )
 
+    critical = summary.get("critical_path")
+    if critical:
+        lines.append("")
+        lines.append("## Critical path (per round)")
+        blame = critical["blame"]
+        lines.append(
+            "  blame: "
+            f"wait {100.0 * blame['wait']:.1f}%   "
+            f"compute {100.0 * blame['compute']:.1f}%   "
+            f"wire {100.0 * blame['wire']:.1f}%   "
+            f"aggregate {100.0 * blame['aggregate']:.1f}%"
+        )
+        shown = critical["rounds"][:max_round_rows]
+        lines.append(
+            markdown_table(
+                [
+                    "round",
+                    "wall_s",
+                    "wait_s",
+                    "compute_s",
+                    "wire_s",
+                    "aggregate_s",
+                    "participant",
+                    "worker",
+                ],
+                [
+                    [
+                        r["round"],
+                        r["wall_s"],
+                        r["wait_s"],
+                        r["compute_s"],
+                        r["wire_s"],
+                        r["aggregate_s"],
+                        r["participant"],
+                        r["worker"],
+                    ]
+                    for r in shown
+                ],
+                precision=4,
+            )
+        )
+        if len(critical["rounds"]) > len(shown):
+            lines.append(
+                f"... ({len(critical['rounds']) - len(shown)} more rounds)"
+            )
+
+    ops = summary.get("ops")
+    if ops:
+        lines.append("")
+        lines.append(f"## Per-op forward profile (top {top} by total time)")
+        lines.append(
+            markdown_table(
+                ["op", "shape", "count", "total_s"],
+                [
+                    [o["op"], o["shape"], o["count"], o["total_s"]]
+                    for o in ops[:top]
+                ],
+                precision=4,
+            )
+        )
+
     return "\n".join(lines)
+
+
+def export_chrome_trace(events: Sequence[Dict]) -> Dict:
+    """Convert a run-log event stream to Chrome/Perfetto trace-event JSON.
+
+    Load the result at ``chrome://tracing`` or https://ui.perfetto.dev.
+    Layout: the server's telemetry spans form one track (pid 0), and
+    every distinct worker seen in ``trace.task`` events gets its own
+    thread track under a shared "workers" process (pid 1) — each traced
+    task appears as a ``task r<round> p<participant>`` slice spanning
+    dispatch→receive with its clock-corrected phase spans nested inside.
+    All timestamps are microseconds on the server timeline.
+    """
+    trace_events: List[Dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "server"},
+        },
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "workers"},
+        },
+    ]
+    worker_tids: Dict[str, int] = {}
+
+    for event in events:
+        name = event.get("event")
+        if name == "span_end":
+            duration = float(event.get("duration_s", 0.0))
+            end_ts = float(event.get("ts", 0.0))
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": str(event.get("span", "?")),
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": round((end_ts - duration) * 1e6, 3),
+                    "dur": round(duration * 1e6, 3),
+                    "args": {"span_id": event.get("span_id", 0)},
+                }
+            )
+        elif name == "trace.task":
+            worker = str(event.get("worker", "?"))
+            tid = worker_tids.get(worker)
+            if tid is None:
+                tid = len(worker_tids) + 1
+                worker_tids[worker] = tid
+                trace_events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": 1,
+                        "tid": tid,
+                        "args": {"name": f"worker {worker}"},
+                    }
+                )
+            dispatch_ts = float(event.get("dispatch_ts", 0.0))
+            receive_ts = float(event.get("receive_ts", dispatch_ts))
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": (
+                        f"task r{event.get('round', '?')} "
+                        f"p{event.get('participant', '?')}"
+                    ),
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": round(dispatch_ts * 1e6, 3),
+                    "dur": round(max(0.0, receive_ts - dispatch_ts) * 1e6, 3),
+                    "args": {
+                        "busy_s": event.get("busy_s", 0.0),
+                        "wire_s": event.get("wire_s", 0.0),
+                        "trace_id": event.get("trace_id"),
+                        "parent_span_id": event.get("parent_span_id"),
+                    },
+                }
+            )
+            for span_name, start, duration in event.get("spans", []):
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "name": str(span_name),
+                        "pid": 1,
+                        "tid": tid,
+                        "ts": round(float(start) * 1e6, 3),
+                        "dur": round(float(duration) * 1e6, 3),
+                    }
+                )
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -58,6 +58,7 @@ from repro.federated.versioning import split_delta
 from repro.nn.serialize import WIRE_DTYPES
 from repro.search_space import SupernetConfig
 from repro.telemetry import Telemetry
+from repro.telemetry.tracing import emit_task_trace
 
 from . import codec
 from .protocol import (
@@ -162,6 +163,11 @@ class WorkerEndpoint:
         self.rounds_failed = 0
         #: daemon advertised delta-dispatch support in its hello ack
         self.delta_ok = False
+        #: daemon advertised trace-context support in its hello ack; the
+        #: backend strips trace contexts for daemons that did not (old
+        #: workers), so mixed fleets interoperate — their spans are
+        #: simply absent from the trace.
+        self.tracing_ok = False
         #: name → version this worker last acknowledged (delta dispatch);
         #: reset on every (re-)registration, since MSG_INIT clears the
         #: daemon's parameter cache.
@@ -282,9 +288,11 @@ class SocketBackend:
             return False
         conn = FrameConnection(sock, on_traffic=self._on_traffic)
         try:
-            # The delta capability travels as an *extra* hello key only
-            # when enabled, so delta-off hello bytes are unchanged.
+            # Capabilities travel as *extra* hello keys only when
+            # enabled, so capability-off hello bytes are unchanged.
             hello_extra = {"delta": True} if self.delta_dispatch else {}
+            if self.telemetry.enabled and self.telemetry.tracing:
+                hello_extra["tracing"] = True
             msg_type, payload = conn.request(
                 MSG_HELLO,
                 codec.encode_hello(
@@ -323,6 +331,7 @@ class SocketBackend:
         # cache: every previously acknowledged version is void.
         endpoint.acked = {}
         endpoint.delta_ok = bool(hello_ack.get("delta", False))
+        endpoint.tracing_ok = bool(hello_ack.get("tracing", False))
         if self.telemetry.enabled:
             self.telemetry.count("transport.worker_registered")
             self.telemetry.emit(
@@ -449,6 +458,10 @@ class SocketBackend:
         delta cache miss is not a failure: the task is immediately
         re-sent in full on the same connection (a full task cannot miss).
         """
+        if task.trace is not None and not endpoint.tracing_ok:
+            # Old worker (no tracing capability): send the historical
+            # wire format; its spans are simply absent from the trace.
+            task = dataclasses.replace(task, trace=None)
         wire_task = self._encode_for_endpoint(endpoint, task)
         # Delta-capable daemons also get the compact packed blob (the
         # npz container's per-array headers dominate at small scales).
@@ -468,6 +481,7 @@ class SocketBackend:
                 packed=packed,
             )
             start = time.perf_counter()
+            dispatch_ts = self.telemetry.now()
             try:
                 msg_type, reply = endpoint.conn.request(
                     MSG_TASK, payload, timeout=self.task_timeout_s
@@ -514,6 +528,18 @@ class SocketBackend:
                 return None, f"{type(exc).__name__}: {exc}"
             break
         rtt = time.perf_counter() - start
+        receive_ts = self.telemetry.now()
+        if self.telemetry.enabled and update.spans is not None:
+            with self._lock:
+                emit_task_trace(
+                    self.telemetry,
+                    backend=self.name,
+                    task=task,
+                    update=update,
+                    dispatch_ts=dispatch_ts,
+                    receive_ts=receive_ts,
+                    worker=endpoint.address,
+                )
         if self.delta_dispatch and task.state_versions is not None:
             # The daemon now holds every name in the task at its current
             # version (shipped entries were cached, refs were verified).

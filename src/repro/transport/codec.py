@@ -47,6 +47,7 @@ from repro.nn.serialize import (
     unpack_state,
 )
 from repro.search_space import ArchitectureMask, SupernetConfig
+from repro.telemetry.tracing import TraceContext
 
 from .protocol import PROTOCOL_VERSION, ProtocolError
 
@@ -280,6 +281,11 @@ def encode_task(
         meta["state_refs"] = {
             name: int(version) for name, version in task.state_refs.items()
         }
+    # Trace context likewise rides only when present (tracing on *and*
+    # the receiver advertised the ``tracing`` capability) — tracing-off
+    # payloads stay byte-for-byte the historical format.
+    if task.trace is not None:
+        meta["trace"] = task.trace.to_wire()
     return _pack_tensor_payload(
         meta,
         task.state,
@@ -307,6 +313,7 @@ def decode_task(payload: bytes) -> Tuple[LocalStepTask, int]:
         )
         versions = meta.get("state_versions")
         refs = meta.get("state_refs")
+        trace_wire = meta.get("trace")
         task = LocalStepTask(
             participant_id=int(meta["participant_id"]),
             round_index=int(meta["round_index"]),
@@ -322,6 +329,9 @@ def decode_task(payload: bytes) -> Tuple[LocalStepTask, int]:
                 None
                 if refs is None
                 else {str(k): int(v) for k, v in refs.items()}
+            ),
+            trace=(
+                None if trace_wire is None else TraceContext.from_wire(trace_wire)
             ),
         )
     except (TypeError, ValueError, AttributeError) as exc:
@@ -353,6 +363,10 @@ def encode_update(
         "num_samples": update.num_samples,
         "compute_time_s": update.compute_time_s,
     }
+    # Worker span payload piggybacks in the JSON meta only when the task
+    # carried a trace context; untraced replies keep the historical bytes.
+    if update.spans is not None:
+        meta["spans"] = update.spans
     return _pack_tensor_payload(
         meta, arrays, compression=compression, wire_dtype=wire_dtype
     )
@@ -380,6 +394,7 @@ def decode_update(payload: bytes) -> Tuple[ParticipantUpdate, int]:
             num_samples=int(meta["num_samples"]),
             compute_time_s=float(meta["compute_time_s"]),
             buffers=buffers,
+            spans=meta.get("spans"),
         )
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed update meta: {exc}") from exc

@@ -31,6 +31,7 @@ from repro.federated.executor import ParticipantSpec
 from repro.federated.participant import run_local_step
 from repro.federated.versioning import DeltaCacheMiss, resolve_task
 from repro.search_space import SupernetConfig
+from repro.telemetry.tracing import SpanRecorder
 
 from . import codec
 from .protocol import (
@@ -68,6 +69,12 @@ class WorkerServer:
         Exit the accept loop after this many seconds without a
         connection (None = wait forever).  Auto-spawned workers use it
         as a leak guard: a worker whose server died stops itself.
+    tracing:
+        Advertise the ``tracing`` hello capability and record local-step
+        spans for tasks that carry a trace context.  ``False`` makes the
+        daemon behave like a pre-tracing worker (interop testing /
+        ``repro serve --no-tracing``): the server then strips trace
+        contexts before dispatching to it.
     """
 
     def __init__(
@@ -75,8 +82,10 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         idle_timeout_s: Optional[float] = None,
+        tracing: bool = True,
     ):
         self.idle_timeout_s = idle_timeout_s
+        self.tracing = bool(tracing)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -171,6 +180,9 @@ class WorkerServer:
                         # delta-encoded tasks (state_refs) against its
                         # persistent parameter cache
                         "delta": True,
+                        # capability flag: this daemon understands task
+                        # trace contexts and returns span payloads
+                        **({"tracing": True} if self.tracing else {}),
                     }
                 ),
             )
@@ -205,12 +217,25 @@ class WorkerServer:
 
     def _handle_task(self, conn: FrameConnection, payload: bytes) -> None:
         seq = -1
+        recorder: Optional[SpanRecorder] = None
         try:
             task, seq = codec.decode_task(payload)
+            # Tasks from a pre-tracing server (or with tracing off) carry
+            # no context; `--no-tracing` daemons ignore one if present.
+            if task.trace is not None and self.tracing:
+                recorder = SpanRecorder(profile_ops=task.trace.profile_ops)
+            span = recorder.span if recorder is not None else None
             if task.state_versions is not None or task.state_refs:
                 try:
-                    task = resolve_task(task, self._param_cache)
+                    if span is not None:
+                        with span("deserialize"):
+                            task = resolve_task(task, self._param_cache)
+                    else:
+                        task = resolve_task(task, self._param_cache)
                 except DeltaCacheMiss as miss:
+                    if recorder is not None:
+                        recorder.abort()
+                        recorder = None
                     conn.send_frame(
                         MSG_ERROR,
                         codec.encode_error(
@@ -234,7 +259,11 @@ class WorkerServer:
                 self._supernet_config,
                 transform=spec.transform,
                 device=spec.device,
+                recorder=recorder,
             )
+            if recorder is not None:
+                update.spans = recorder.payload()
+                recorder = None
             self.tasks_completed += 1
             conn.send_frame(
                 MSG_UPDATE,
@@ -246,8 +275,14 @@ class WorkerServer:
                 ),
             )
         except ProtocolError as exc:
+            if recorder is not None:
+                recorder.abort()
             conn.send_frame(MSG_ERROR, codec.encode_error(seq, f"bad task: {exc}"))
         except Exception:
+            # The op-profiling hook is process-global: abort on every
+            # failure path so a crashed step cannot leak it.
+            if recorder is not None:
+                recorder.abort()
             conn.send_frame(
                 MSG_ERROR,
                 codec.encode_error(
@@ -261,13 +296,14 @@ def serve(
     port: int = 0,
     idle_timeout_s: Optional[float] = None,
     announce: bool = True,
+    tracing: bool = True,
 ) -> int:
     """Run a worker daemon until shutdown; the ``repro serve`` body.
 
     Prints ``REPRO-WORKER-READY <host> <port>`` once listening so a
     spawner using ``--port 0`` can learn the bound port.
     """
-    server = WorkerServer(host, port, idle_timeout_s=idle_timeout_s)
+    server = WorkerServer(host, port, idle_timeout_s=idle_timeout_s, tracing=tracing)
     if announce:
         print(f"{READY_PREFIX} {server.host} {server.port}", flush=True)
         print(

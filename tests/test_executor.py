@@ -198,6 +198,67 @@ class TestBackendEquivalence:
                         f"{name} {attr} diverged at round {a.round_index}"
                     )
 
+    def test_search_report_bit_identical_with_tracing(self):
+        """Distributed tracing is observation only: seeded reports are
+        bit-identical with tracing off, on, and on+per-op profiling,
+        under every backend — and traced runs actually produce worker
+        spans (one ``trace.task`` event per dispatched task)."""
+        shrink = dict(
+            warmup_rounds=2,
+            search_rounds=4,
+            retrain_epochs=1,
+            fl_retrain_rounds=2,
+            num_participants=3,
+            train_per_class=6,
+            test_per_class=2,
+        )
+
+        def run(**kwargs):
+            pipeline = FederatedModelSearch(
+                ExperimentConfig.small(seed=3, **shrink, **kwargs)
+            )
+            try:
+                report = pipeline.run()
+            finally:
+                pipeline.close()
+            traced = [
+                e for e in pipeline.telemetry.events()
+                if e["event"] == "trace.task"
+            ]
+            return report, traced
+
+        reference, _ = run(telemetry_enabled=False)
+        dispatched = sum(
+            r.num_fresh + r.num_stale_used + r.num_dropped
+            for r in reference.warmup_results + reference.search_results
+        )
+        for backend in ("serial", "process", "socket"):
+            for trace_ops in (False, True):
+                report, traced = run(
+                    backend=backend,
+                    num_workers=2,
+                    tracing_enabled=True,
+                    trace_ops=trace_ops,
+                )
+                label = f"{backend} trace_ops={trace_ops}"
+                assert report.genotype == reference.genotype, label
+                assert report.test_accuracy == reference.test_accuracy, label
+                assert (
+                    report.simulated_search_time_s
+                    == reference.simulated_search_time_s
+                ), label
+                for attr in ("warmup_results", "search_results"):
+                    for a, b in zip(
+                        getattr(report, attr), getattr(reference, attr)
+                    ):
+                        assert a == b, (
+                            f"{label} {attr} diverged at round {a.round_index}"
+                        )
+                assert len(traced) >= dispatched, label
+                assert all(e["spans"] for e in traced), label
+                if trace_ops:
+                    assert all(e.get("ops") for e in traced), label
+
 
 @pytest.mark.skipif(
     "fork" not in mp.get_all_start_methods(),
