@@ -132,6 +132,14 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPars
         "either way)",
     )
     parser.add_argument(
+        "--param-arena", action="store_true",
+        help="flat parameter arena: supernet parameters/buffers live in "
+        "one contiguous buffer and aggregation/snapshots/serialization "
+        "run over ranges (default: $REPRO_PARAM_ARENA; results are "
+        "bit-identical either way; with --resume, resumes the "
+        "checkpoint into arena mode)",
+    )
+    parser.add_argument(
         "--measure-wire", action="store_true",
         help="measure exact on-wire payload sizes each round and report "
         "them through telemetry (alongside the analytic Fig. 7 estimate)",
@@ -327,6 +335,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["socket_wire_dtype"] = args.wire_dtype
     if getattr(args, "delta_dispatch", False):
         overrides["delta_dispatch"] = True
+    if getattr(args, "param_arena", False):
+        overrides["param_arena"] = True
     if getattr(args, "measure_wire", False):
         overrides["measure_wire_bytes"] = True
     if getattr(args, "telemetry_log", None):
@@ -372,8 +382,18 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 def run_main(args: argparse.Namespace) -> int:
     resume_from = getattr(args, "resume", None)
     if resume_from:
+        # Result-neutral layout switch: a dict-mode checkpoint may be
+        # resumed straight into arena mode (and vice versa via the
+        # embedded config); all other flags are ignored on resume.
+        overrides = (
+            {"param_arena": True}
+            if getattr(args, "param_arena", False)
+            else None
+        )
         try:
-            pipeline = FederatedModelSearch.resume(resume_from)
+            pipeline = FederatedModelSearch.resume(
+                resume_from, config_overrides=overrides
+            )
         except (OSError, ValueError) as exc:
             print(f"error: cannot resume from {resume_from}: {exc}", file=sys.stderr)
             return 2

@@ -77,7 +77,7 @@ def load_model(model: Module, path: PathLike) -> None:
     """Load a state dict saved by :func:`save_model` into ``model``."""
     with np.load(str(path)) as archive:
         state = {name: archive[name] for name in archive.files}
-    model.load_state_dict(state)
+    model.apply_state(state, strict=True)
 
 
 def save_genotype(genotype: Genotype, path: PathLike) -> None:
@@ -188,7 +188,14 @@ def save_search_state(
         "delay_model": _rng_state(getattr(server.delay_model, "rng", None)),
     }
 
-    injector = server.fault_injector
+    # Every auxiliary stateful component is snapshotted through the one
+    # repro.core.Stateful code path (lazy import: repro.core imports the
+    # pipeline, which imports this module).
+    from repro.core.state import capture_states
+
+    stateful = capture_states(
+        {"quarantine": server.quarantine, "injector": server.fault_injector}
+    )
     meta = {
         "format_version": _FORMAT_VERSION,
         "round": server.round,
@@ -199,8 +206,8 @@ def save_search_state(
         "rng": rng_meta,
         "pools": {"rounds": pools.rounds(), "masks": pool_masks},
         "pending": pending_meta,
-        "quarantine": server.quarantine.state_dict(),
-        "injector": injector.state_dict() if injector is not None else None,
+        "quarantine": stateful["quarantine"],
+        "injector": stateful["injector"],
         "extra": extra or {},
     }
 
@@ -279,7 +286,10 @@ def restore_search_state(
             for i in range(len(meta["pending"]))
         ]
 
-    server.supernet.load_state_dict(theta)
+    # In-place application keeps any attached ParameterArena views bound
+    # — a dict-mode checkpoint restores into an arena-mode server (and
+    # vice versa) through the same call.
+    server.supernet.apply_state(theta, strict=True)
     server.policy.load(alpha)
     for i in range(len(server.theta_optimizer._velocity)):
         key = f"velocity.{i}"
@@ -374,12 +384,15 @@ def restore_search_state(
             )
         )
 
-    # --- quarantine + injector ---------------------------------------
-    server.quarantine.load_state_dict(meta.get("quarantine", {}))
+    # --- quarantine + injector (one Stateful code path) ---------------
+    from repro.core.state import restore_states
+
     injector_state = meta.get("injector")
-    if injector_state is not None and server.fault_injector is not None:
-        server.fault_injector.load_state_dict(injector_state)
-    elif (injector_state is None) != (server.fault_injector is None):
+    mismatched = restore_states(
+        {"quarantine": server.quarantine, "injector": server.fault_injector},
+        {"quarantine": meta.get("quarantine", {}), "injector": injector_state},
+    )
+    if "injector" in mismatched:
         server.telemetry.emit(
             "checkpoint.injector_mismatch",
             checkpoint_has_injector=injector_state is not None,

@@ -1,6 +1,7 @@
 """``repro.core`` — experiment configs and the four-phase pipeline."""
 
 from .config import TABLE1_DEFAULTS, ExperimentConfig
+from .state import Stateful, capture_states, restore_states
 from .phases import (
     evaluate,
     retrain_centralized,
@@ -20,4 +21,7 @@ __all__ = [
     "run_warmup",
     "FederatedModelSearch",
     "SearchReport",
+    "Stateful",
+    "capture_states",
+    "restore_states",
 ]

@@ -54,6 +54,19 @@ def _default_delta_dispatch() -> bool:
     )
 
 
+def _default_param_arena() -> bool:
+    """Parameter-arena default: ``$REPRO_PARAM_ARENA`` when set.
+
+    Same contract as :func:`_default_backend` — the environment hook
+    flips a whole test/CI run onto the flat parameter arena without
+    touching call sites; an explicit ``param_arena=`` argument always
+    wins.
+    """
+    return os.environ.get("REPRO_PARAM_ARENA", "").lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
 def _default_tracing() -> bool:
     """Distributed-tracing default: ``$REPRO_TRACING`` when set.
 
@@ -225,6 +238,12 @@ class ExperimentConfig:
     delta_dispatch: bool = dataclasses.field(
         default_factory=_default_delta_dispatch
     )
+    #: flat parameter arena (:class:`repro.nn.ParameterArena`): the
+    #: supernet's parameters/buffers live in one contiguous float64
+    #: buffer — aggregation, CoW Θ snapshots, and serialization become
+    #: range operations, and ``state_dict()`` serves read-only views.
+    #: Seeded results are bit-identical with this on or off.
+    param_arena: bool = dataclasses.field(default_factory=_default_param_arena)
 
     # Socket-backend wire options (ignored by other backends).
     #: worker daemon addresses ("host:port"); None auto-spawns

@@ -207,6 +207,7 @@ class FederatedModelSearch:
             strike_limit=c.strike_limit,
             quarantine_rounds=c.quarantine_rounds,
             quarantine_backoff=c.quarantine_backoff,
+            param_arena=c.param_arena,
         )
 
     def _delay_model(self):
@@ -243,7 +244,10 @@ class FederatedModelSearch:
 
     @classmethod
     def resume(
-        cls, path: str, telemetry: Optional[Telemetry] = None
+        cls,
+        path: str,
+        telemetry: Optional[Telemetry] = None,
+        config_overrides: Optional[Dict[str, object]] = None,
     ) -> "FederatedModelSearch":
         """Rebuild a pipeline from a :meth:`save_checkpoint` file.
 
@@ -254,6 +258,12 @@ class FederatedModelSearch:
         checkpoint (not re-dispatched).  If the config names a fault
         plan, injected crashes at or before the restored round are
         marked as already fired so the resumed run doesn't crash again.
+
+        ``config_overrides`` replaces fields of the embedded config
+        before the pipeline is rebuilt — only result-neutral switches
+        (memory layout, backend, telemetry) are safe to override; the
+        canonical use is resuming a dict-mode checkpoint into arena mode
+        (``{"param_arena": True}``) or vice versa.
         """
         meta = read_checkpoint_meta(path)
         extra = meta.get("extra") or {}
@@ -263,7 +273,15 @@ class FederatedModelSearch:
                 "by save_search_state directly — restore it with "
                 "repro.checkpoint.restore_search_state onto a server you built"
             )
-        config = ExperimentConfig.from_dict(extra["config"])
+        config_dict = dict(extra["config"])
+        if config_overrides:
+            unknown = set(config_overrides) - set(config_dict)
+            if unknown:
+                raise ValueError(
+                    f"unknown config override(s): {sorted(unknown)}"
+                )
+            config_dict.update(config_overrides)
+        config = ExperimentConfig.from_dict(config_dict)
         pipeline = cls(config, telemetry=telemetry)
         restore_search_state(pipeline.server, path)
         progress = extra.get("progress") or {}

@@ -53,9 +53,16 @@ class MemoryPools:
         theta: Dict[str, np.ndarray],
         alpha: np.ndarray,
         versions=None,
+        arena=None,
     ) -> None:
         if versions is None:
             self._theta[round_t] = clone_state(theta)
+        elif arena is not None:
+            # Flat-arena CoW: changed entries are copied as merged
+            # contiguous ranges of the flat buffer instead of one
+            # ndarray.copy per name; unchanged entries share the
+            # previously frozen windows exactly like cow_clone_state.
+            self._theta[round_t] = arena.cow_snapshot(versions)
         else:
             self._theta[round_t] = cow_clone_state(
                 theta, versions, self._cow_cache

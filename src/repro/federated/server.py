@@ -91,6 +91,12 @@ class SearchServerConfig:
     validate_updates: bool = True
     #: reject updates whose global gradient L2 norm exceeds this (0 = off)
     update_norm_limit: float = 1e4
+    #: flatten the supernet's parameters/buffers into a contiguous
+    #: :class:`repro.nn.ParameterArena`: aggregation accumulates into one
+    #: gradient buffer, Θ snapshots become range copies, and
+    #: ``state_dict()`` serves read-only views.  Bit-identical to the
+    #: dict path — purely a memory-layout/performance switch.
+    param_arena: bool = False
     #: rejections before a participant is quarantined
     strike_limit: int = 3
     #: base quarantine length in rounds (doubles per repeat offence)
@@ -242,6 +248,17 @@ class FederatedSearchServer:
             [name for name, _ in supernet.named_parameters()]
             + [name for name, _ in supernet.named_buffers()]
         )
+        #: optional flat parameter arena (config.param_arena): rebinds
+        #: every supernet parameter/buffer onto one contiguous float64
+        #: buffer, so aggregation, CoW snapshots, and serialization work
+        #: over ranges instead of per-name dicts.  Values are copied in
+        #: unchanged and all arithmetic stays element-wise in the same
+        #: order, so seeded results are bit-identical arena on/off.
+        self.arena: Optional[nn.ParameterArena] = (
+            nn.ParameterArena.from_module(supernet)
+            if self.config.param_arena
+            else None
+        )
         #: preallocated per-name accumulation buffers for the sparse
         #: gradient aggregation (reused across rounds; see _add_gradients)
         self._grad_buffers: Dict[str, np.ndarray] = {}
@@ -263,7 +280,11 @@ class FederatedSearchServer:
         telemetry = self.telemetry
         telemetry.emit("round_start", round=t, phase=self.phase_label)
         self.pools.save_round(
-            t, self._theta_state(), self.policy.alpha, versions=self.versions
+            t,
+            self._theta_state(),
+            self.policy.alpha,
+            versions=self.versions,
+            arena=self.arena,
         )
 
         online = self._sample_online()
@@ -697,16 +718,35 @@ class FederatedSearchServer:
         buffer (reused across rounds) via ``np.copyto``; later arrivals
         add in place.  Float64 addition order is unchanged, so results
         are bit-identical to the previous copy-then-add accumulation.
+
+        With the parameter arena on, that first-arrival buffer *is* the
+        arena's contiguous gradient window for the name, so the round's
+        accumulated gradient materialises directly in the flat buffer
+        (averaged later with merged-range vector ops in _step_theta).
+        Names the arena doesn't own — or whose shape disagrees, e.g. a
+        corrupt update with validation off — keep the detached per-name
+        fallback buffers.
         """
         buffers = self._grad_buffers
+        arena = self.arena
         for name, grad in gradients.items():
             if name in grad_sum:
                 grad_sum[name] += grad
             else:
-                buf = buffers.get(name)
-                if buf is None or buf.shape != grad.shape or buf.dtype != grad.dtype:
-                    buf = np.empty_like(grad)
-                    buffers[name] = buf
+                buf = None
+                if arena is not None:
+                    view = arena.grad_view(name)
+                    if (
+                        view is not None
+                        and view.shape == grad.shape
+                        and view.dtype == grad.dtype
+                    ):
+                        buf = view
+                if buf is None:
+                    buf = buffers.get(name)
+                    if buf is None or buf.shape != grad.shape or buf.dtype != grad.dtype:
+                        buf = np.empty_like(grad)
+                        buffers[name] = buf
                 np.copyto(buf, grad)
                 grad_sum[name] = buf
 
@@ -743,11 +783,22 @@ class FederatedSearchServer:
                     sums[name] = np.array(value, copy=True)
                     counts[name] = 1
         owners = self.supernet._named_buffer_owners()
+        arena = self.arena
         touched = []
         for name, total in sums.items():
             if name in owners:
-                module, local = owners[name]
-                module._set_buffer(local, total / counts[name])
+                value = total / counts[name]
+                if (
+                    arena is not None
+                    and arena.has(name)
+                    and arena.view(name).shape == value.shape
+                ):
+                    # In-place write keeps the buffer bound to the arena
+                    # (replacing the array would detach the view).
+                    arena.write(name, value)
+                else:
+                    module, local = owners[name]
+                    module._set_buffer(local, value)
                 touched.append(name)
         self.versions.bump(touched)
 
@@ -778,9 +829,19 @@ class FederatedSearchServer:
         if count == 0:
             return
         self.theta_optimizer.zero_grad()
+        # Arena-owned sums are averaged in place over merged contiguous
+        # ranges of the flat gradient buffer (``/=`` is the same
+        # element-wise ufunc as ``/``, so bit-identical); anything else
+        # keeps the per-name divide-into-a-copy path.
+        owned = (
+            self.arena.average_grads(grad_sum, count)
+            if self.arena is not None
+            else frozenset()
+        )
         for name, param in self.supernet.named_parameters():
             if name in grad_sum:
-                param.grad = grad_sum[name] / count
+                grad = grad_sum[name]
+                param.grad = grad if name in owned else grad / count
         norm = nn.clip_grad_norm(
             self.supernet.parameters(), self.config.theta_grad_clip
         )

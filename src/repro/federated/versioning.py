@@ -52,37 +52,77 @@ class ParameterVersions:
     :meth:`bump_all` invalidates everything at once — used after a
     checkpoint restore, where workers' caches may hold arrays from a
     different timeline.
+
+    Counters live in one contiguous ``int64`` array with a name →
+    position index, so whole-model operations (``bump_all``, the
+    vectorized :func:`split_delta` gather, arena CoW change detection)
+    are single numpy ops instead of per-name dict traffic.  All lookups
+    return plain Python ints (wire codecs JSON-encode them directly).
     """
 
     def __init__(self, names: Iterable[str]):
-        self._versions: Dict[str, int] = {name: 1 for name in names}
+        self._names: List[str] = list(names)
+        self._pos: Dict[str, int] = {
+            name: i for i, name in enumerate(self._names)
+        }
+        if len(self._pos) != len(self._names):
+            raise ValueError("duplicate parameter names")
+        self._array = np.ones(len(self._names), dtype=np.int64)
 
     def __getitem__(self, name: str) -> int:
-        return self._versions[name]
+        return int(self._array[self._pos[name]])
 
     def get(self, name: str, default: int = 0) -> int:
-        return self._versions.get(name, default)
+        pos = self._pos.get(name)
+        return default if pos is None else int(self._array[pos])
 
     def bump(self, names: Iterable[str]) -> None:
-        """Increment the counters of every name in ``names``."""
-        versions = self._versions
+        """Increment the counters of every name in ``names``.
+
+        Names appearing k times are bumped k times (``np.add.at``);
+        unknown names are appended starting at version 1.
+        """
+        idx: List[int] = []
         for name in names:
-            versions[name] = versions.get(name, 0) + 1
+            pos = self._pos.get(name)
+            if pos is None:
+                pos = len(self._names)
+                self._names.append(name)
+                self._pos[name] = pos
+                self._array = np.append(self._array, np.int64(0))
+            idx.append(pos)
+        if idx:
+            np.add.at(self._array, np.asarray(idx, dtype=np.intp), 1)
 
     def bump_all(self) -> None:
         """Invalidate every parameter (checkpoint restore / resume)."""
-        self.bump(list(self._versions))
+        self._array += 1
 
     def subset(self, names: Iterable[str]) -> Dict[str, int]:
         """Name → current version for exactly ``names`` (dispatch order)."""
-        versions = self._versions
-        return {name: versions[name] for name in names}
+        array, pos = self._array, self._pos
+        return {name: int(array[pos[name]]) for name in names}
 
     def snapshot(self) -> Dict[str, int]:
-        return dict(self._versions)
+        return {
+            name: int(self._array[i]) for i, name in enumerate(self._names)
+        }
+
+    def positions(self, names: Iterable[str]) -> np.ndarray:
+        """Array positions of ``names`` (for vectorized gathers)."""
+        pos = self._pos
+        return np.asarray([pos[name] for name in names], dtype=np.intp)
+
+    def values_at(self, positions: np.ndarray) -> np.ndarray:
+        """Current counters at precomputed positions (int64 gather)."""
+        return self._array[positions]
+
+    def values_for(self, names: Iterable[str]) -> np.ndarray:
+        """Current counters for ``names`` in order (int64 array)."""
+        return self._array[self.positions(names)]
 
     def __len__(self) -> int:
-        return len(self._versions)
+        return len(self._names)
 
 
 class DeltaCacheMiss(KeyError):
@@ -108,13 +148,32 @@ def split_delta(
     last acknowledged *exactly* the current version — anything older (or
     never acknowledged) travels in full.  Returns ``(delta, refs)``
     where ``refs`` maps name → the version the receiver must look up.
+
+    When ``versions`` is a :class:`ParameterVersions`, both the current
+    counters and the ack comparison are gathered as single int64 vector
+    ops over the task's names instead of one dict probe per name.
     """
+    names = list(state)
+    if isinstance(versions, ParameterVersions):
+        current = versions.values_for(names)
+    else:
+        current = np.fromiter(
+            (versions[name] for name in names), dtype=np.int64, count=len(names)
+        )
+    # Sentinel far outside any real version so "never acknowledged"
+    # can't collide with a genuine counter value.
+    never = -(2**62)
+    acked_arr = np.fromiter(
+        (acked.get(name, never) for name in names),
+        dtype=np.int64,
+        count=len(names),
+    )
+    hit = acked_arr == current
     delta: Dict[str, np.ndarray] = {}
     refs: Dict[str, int] = {}
-    for name, value in state.items():
-        version = versions[name]
-        if acked.get(name) == version:
-            refs[name] = version
+    for i, (name, value) in enumerate(state.items()):
+        if hit[i]:
+            refs[name] = int(current[i])
         else:
             delta[name] = value
     return delta, refs

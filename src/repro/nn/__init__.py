@@ -7,6 +7,7 @@ serialization with wire-size accounting.
 """
 
 from . import functional
+from .arena import ArenaEntry, ArenaStateView, ParameterArena
 from .init import kaiming_normal, kaiming_uniform, xavier_uniform
 from .modules import (
     AvgPool2d,
@@ -17,6 +18,7 @@ from .modules import (
     GlobalAvgPool,
     Identity,
     Linear,
+    LoadResult,
     MaxPool2d,
     Module,
     ModuleList,
@@ -29,6 +31,8 @@ from .modules import (
 from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
 from .serialize import (
     WIRE_DTYPES,
+    arena_from_bytes,
+    arena_to_bytes,
     bytes_to_state,
     payload_size_bytes,
     clone_state,
@@ -52,6 +56,10 @@ __all__ = [
     "is_grad_enabled",
     "Parameter",
     "Module",
+    "LoadResult",
+    "ParameterArena",
+    "ArenaStateView",
+    "ArenaEntry",
     "set_forward_hook",
     "Sequential",
     "ModuleList",
@@ -75,6 +83,8 @@ __all__ = [
     "kaiming_uniform",
     "xavier_uniform",
     "state_to_bytes",
+    "arena_to_bytes",
+    "arena_from_bytes",
     "pack_state",
     "unpack_state",
     "bytes_to_state",

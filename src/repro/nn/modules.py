@@ -9,9 +9,21 @@ top of :mod:`repro.nn.functional`.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 from collections import OrderedDict
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -22,6 +34,7 @@ from .tensor import Tensor, as_tensor
 __all__ = [
     "Parameter",
     "Module",
+    "LoadResult",
     "set_forward_hook",
     "Sequential",
     "ModuleList",
@@ -69,6 +82,25 @@ def set_forward_hook(hook: Optional[Callable]) -> Optional[Callable]:
     return previous
 
 
+@dataclasses.dataclass(frozen=True)
+class LoadResult:
+    """Outcome of :meth:`Module.apply_state` / ``load_state_dict``.
+
+    ``missing`` / ``unexpected`` are key names; ``mismatched`` holds
+    ``(name, own_shape, given_shape)`` for keys whose arrays could not
+    be applied because the shapes disagree (skipped, never silently
+    dropped).
+    """
+
+    missing: List[str]
+    unexpected: List[str]
+    mismatched: List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]]
+
+    @property
+    def ok(self) -> bool:
+        return not (self.missing or self.unexpected or self.mismatched)
+
+
 class Module:
     """Base class for all neural-network layers and models."""
 
@@ -77,6 +109,9 @@ class Module:
         self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
         self.training = True
+        # Set on the *root* module by ParameterArena.attach(); when
+        # present, state_dict() serves read-only arena views.
+        self._arena = None
 
     # ------------------------------------------------------------------
     # Attribute registration
@@ -144,8 +179,18 @@ class Module:
     # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
-    def state_dict(self) -> Dict[str, np.ndarray]:
-        """Snapshot all parameters and buffers as copied arrays."""
+    def state_dict(self) -> Mapping[str, np.ndarray]:
+        """Snapshot all parameters and buffers.
+
+        Without an arena: a plain dict of copied arrays (historical
+        behaviour).  With a :class:`repro.nn.ParameterArena` attached:
+        a read-only :class:`repro.nn.ArenaStateView` over the live
+        buffer — same keys, same iteration order, zero copies.  Use
+        :meth:`apply_state` to write state back.
+        """
+        arena = getattr(self, "_arena", None)
+        if arena is not None:
+            return arena.state_view()
         state: Dict[str, np.ndarray] = {}
         for name, param in self.named_parameters():
             state[name] = param.data.copy()
@@ -153,30 +198,69 @@ class Module:
             state[name] = np.array(buf, copy=True)
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+    def apply_state(
+        self, state: Mapping[str, np.ndarray], strict: bool = False
+    ) -> "LoadResult":
+        """Write ``state`` into this module's parameters and buffers.
+
+        The sanctioned write API: every array is written *in place*
+        (``arr[...] = value``), so arena views, optimizer references,
+        and buffer attributes all stay bound.  With ``strict=False``
+        missing/unexpected/shape-mismatched keys are skipped and
+        reported in the returned :class:`LoadResult`; with
+        ``strict=True`` a shape mismatch raises ``ValueError`` and
+        missing/unexpected keys raise ``KeyError``.
+        """
         params = dict(self.named_parameters())
         own_buffers = self._named_buffer_owners()
-        missing = []
-        for name, param in params.items():
-            if name in state:
-                if param.data.shape != state[name].shape:
+        missing: List[str] = []
+        mismatched: List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = []
+
+        def _write(name: str, target: np.ndarray) -> None:
+            value = np.asarray(state[name])
+            if target.shape != value.shape:
+                if strict:
                     raise ValueError(
                         f"shape mismatch for {name}: "
-                        f"{param.data.shape} vs {state[name].shape}"
+                        f"{target.shape} vs {value.shape}"
                     )
-                param.data[...] = state[name]
+                mismatched.append((name, target.shape, value.shape))
+                return
+            target[...] = value
+
+        for name, param in params.items():
+            if name in state:
+                _write(name, param.data)
             else:
                 missing.append(name)
         for name, (module, local) in own_buffers.items():
             if name in state:
-                module._set_buffer(local, np.array(state[name], copy=True))
+                _write(name, module._buffers[local])
             else:
                 missing.append(name)
-        if strict:
-            known = set(params) | set(own_buffers)
-            unexpected = [k for k in state if k not in known]
-            if missing or unexpected:
-                raise KeyError(f"missing keys {missing}, unexpected keys {unexpected}")
+        known = set(params) | set(own_buffers)
+        unexpected = [k for k in state if k not in known]
+        if strict and (missing or unexpected):
+            raise KeyError(f"missing keys {missing}, unexpected keys {unexpected}")
+        return LoadResult(missing, unexpected, mismatched)
+
+    def load_state_dict(
+        self, state: Mapping[str, np.ndarray], strict: bool = True
+    ) -> "LoadResult":
+        """Legacy alias for :meth:`apply_state`.
+
+        Deprecated on arena-attached modules — the arena made in-place
+        application the only defined write path, and new code should
+        say so by calling :meth:`apply_state` directly.
+        """
+        if getattr(self, "_arena", None) is not None:
+            warnings.warn(
+                "load_state_dict() on an arena-attached module is "
+                "deprecated; call apply_state() instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.apply_state(state, strict=strict)
 
     def _named_buffer_owners(
         self, prefix: str = ""

@@ -24,12 +24,15 @@ from typing import Dict
 
 import numpy as np
 
+from .arena import ParameterArena
 from .modules import Module
 
 __all__ = [
     "WIRE_DTYPES",
     "state_to_bytes",
     "bytes_to_state",
+    "arena_to_bytes",
+    "arena_from_bytes",
     "pack_state",
     "unpack_state",
     "state_num_parameters",
@@ -173,6 +176,25 @@ def unpack_state(payload: bytes, *, compressed: bool = False) -> Dict[str, np.nd
             np.frombuffer(data, dtype=dt).reshape(shape).astype(np.float64)
         )
     return state
+
+
+def arena_to_bytes(
+    arena: ParameterArena, names=None, *, compress: bool = False
+) -> bytes:
+    """Serialize (a subset of) a :class:`ParameterArena` as one buffer write.
+
+    Where :func:`state_to_bytes` / :func:`pack_state` loop over per-name
+    arrays, this emits the arena's contiguous buffer directly — a single
+    ``tobytes`` for the whole model (or one write per merged range for a
+    subset) plus a JSON ``name → shape`` index.  Inverse:
+    :func:`arena_from_bytes`.
+    """
+    return arena.to_bytes(names, compress=compress)
+
+
+def arena_from_bytes(payload: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`arena_to_bytes`: one buffer read → state dict."""
+    return ParameterArena.state_from_bytes(payload)
 
 
 def state_num_parameters(state: Dict[str, np.ndarray]) -> int:
