@@ -175,6 +175,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPars
         "deterministic",
     )
     parser.add_argument(
+        "--network-faults", default=None, metavar="PLAN.JSON",
+        help="inject wire-level chaos from a repro.faults.NetworkFaultPlan "
+        "JSON file (latency, drops, refused dials, partitions, throttling, "
+        "frame corruption); socket backend only, seeded and deterministic",
+    )
+    parser.add_argument(
         "--no-validation", action="store_true",
         help="disable the server-side update validation/quarantine boundary",
     )
@@ -237,6 +243,11 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         help="do not advertise the tracing capability (behave like a "
         "pre-tracing worker; servers then strip trace contexts for "
         "this daemon)",
+    )
+    parser.add_argument(
+        "--network-faults", default=None, metavar="PLAN.JSON",
+        help="misbehave on the wire per a repro.faults.NetworkFaultPlan "
+        "JSON file (worker-side chaos; see repro run --network-faults)",
     )
     return parser
 
@@ -350,6 +361,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["trace_ops"] = True
     if getattr(args, "faults", None):
         overrides["fault_plan_path"] = args.faults
+    if getattr(args, "network_faults", None):
+        overrides["network_faults"] = args.network_faults
     if getattr(args, "no_validation", False):
         overrides["validate_updates"] = False
     if getattr(args, "checkpoint", None):
@@ -490,14 +503,19 @@ def _trace_main(args: argparse.Namespace) -> int:
 
 
 def serve_main(args: argparse.Namespace) -> int:
+    from .faults.network import NetworkFaultPlan
     from .transport import serve
 
+    plan = None
+    if getattr(args, "network_faults", None):
+        plan = NetworkFaultPlan.load(args.network_faults)
     try:
         serve(
             host=args.host,
             port=args.port,
             idle_timeout_s=args.idle_timeout,
             tracing=not getattr(args, "no_tracing", False),
+            network_fault_plan=plan,
         )
     except KeyboardInterrupt:
         pass

@@ -67,6 +67,16 @@ def _default_param_arena() -> bool:
     )
 
 
+def _default_network_faults() -> Optional[str]:
+    """Network-chaos default: ``$REPRO_NETWORK_FAULTS`` when set.
+
+    Same contract as :func:`_default_backend` — the environment hook
+    lets CI run the whole suite under a wire fault plan without
+    touching call sites.  An empty string means None.
+    """
+    return os.environ.get("REPRO_NETWORK_FAULTS") or None
+
+
 def _default_tracing() -> bool:
     """Distributed-tracing default: ``$REPRO_TRACING`` when set.
 
@@ -290,6 +300,44 @@ class ExperimentConfig:
     #: warm-up/search rounds; None = fault-free run
     fault_plan_path: Optional[str] = None
 
+    # Network chaos + resilient dispatch (socket backend; see
+    # :mod:`repro.faults.network` and :mod:`repro.transport.resilience`).
+    #: JSON network fault plan (``repro.faults.NetworkFaultPlan``)
+    #: injected at the wire layer of the socket backend; None (or an
+    #: empty plan) leaves the transport untouched — seeded results are
+    #: bit-identical to a run without the knob.
+    network_faults: Optional[str] = dataclasses.field(
+        default_factory=_default_network_faults
+    )
+    #: consecutive failures that trip a worker's circuit breaker open
+    breaker_failure_threshold: int = 3
+    #: seconds an open breaker blocks dispatch/redial/respawn before one
+    #: half-open probe; doubles on each failed probe (capped at
+    #: ``breaker_cooldown_max_s``)
+    breaker_cooldown_s: float = 2.0
+    breaker_cooldown_max_s: float = 30.0
+    #: full-jitter exponential backoff between retry passes:
+    #: ``U(0, min(cap, base·2^(attempt−1)))`` from a dedicated RNG
+    #: stream; base 0 disables inter-pass delays
+    retry_backoff_base_s: float = 0.05
+    retry_backoff_cap_s: float = 2.0
+    #: derive per-worker task deadlines from observed RTTs (EWMA/p95),
+    #: clamped to ``[deadline_floor_s, task_timeout_s]`` — the static
+    #: timeout stays the ceiling, adaptation can only tighten it
+    adaptive_deadlines: bool = True
+    deadline_floor_s: float = 5.0
+    #: speculatively re-send a task stuck past its hedge threshold to a
+    #: second live replica (first valid result wins; duplicates are
+    #: discarded — deterministic because the local step is a pure
+    #: function of the task)
+    hedge_dispatch: bool = True
+    #: seconds before hedging; 0 = adaptive (3×p95 of the primary
+    #: worker's task RTTs, once enough samples exist)
+    hedge_threshold_s: float = 0.0
+    #: total per-task wall budget across every retry pass; 0 = auto
+    #: (``(task_retries + 1) × task_timeout_s``, the documented bound)
+    task_budget_s: float = 0.0
+
     # Checkpointing (see :mod:`repro.checkpoint`): write a
     # crash-consistent search checkpoint every N warm-up/search rounds
     # (0 = off).  ``checkpoint_path`` is required when enabled.
@@ -393,6 +441,40 @@ class ExperimentConfig:
             raise ValueError(
                 f"quarantine_backoff must be >= 1, got {self.quarantine_backoff}"
             )
+        if self.breaker_failure_threshold < 1:
+            raise ValueError(
+                f"breaker_failure_threshold must be >= 1, "
+                f"got {self.breaker_failure_threshold}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be positive, got {self.breaker_cooldown_s}"
+            )
+        if self.breaker_cooldown_max_s < self.breaker_cooldown_s:
+            raise ValueError(
+                f"breaker_cooldown_max_s ({self.breaker_cooldown_max_s}) must be "
+                f">= breaker_cooldown_s ({self.breaker_cooldown_s})"
+            )
+        if self.retry_backoff_base_s < 0:
+            raise ValueError(
+                f"retry_backoff_base_s must be >= 0, got {self.retry_backoff_base_s}"
+            )
+        if self.retry_backoff_cap_s < 0:
+            raise ValueError(
+                f"retry_backoff_cap_s must be >= 0, got {self.retry_backoff_cap_s}"
+            )
+        if self.deadline_floor_s <= 0:
+            raise ValueError(
+                f"deadline_floor_s must be positive, got {self.deadline_floor_s}"
+            )
+        if self.hedge_threshold_s < 0:
+            raise ValueError(
+                f"hedge_threshold_s must be >= 0, got {self.hedge_threshold_s}"
+            )
+        if self.task_budget_s < 0:
+            raise ValueError(
+                f"task_budget_s must be >= 0, got {self.task_budget_s}"
+            )
         if self.checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
@@ -453,6 +535,24 @@ class ExperimentConfig:
             init_channels=self.init_channels,
             num_cells=self.num_cells,
             steps=self.steps,
+        )
+
+    def resilience_config(self):
+        """Bundle the breaker/backoff/deadline/hedge knobs for the
+        socket backend (:class:`repro.transport.ResilienceConfig`)."""
+        from repro.transport.resilience import ResilienceConfig
+
+        return ResilienceConfig(
+            breaker_failure_threshold=self.breaker_failure_threshold,
+            breaker_cooldown_s=self.breaker_cooldown_s,
+            breaker_cooldown_max_s=self.breaker_cooldown_max_s,
+            retry_backoff_base_s=self.retry_backoff_base_s,
+            retry_backoff_cap_s=self.retry_backoff_cap_s,
+            adaptive_deadlines=self.adaptive_deadlines,
+            deadline_floor_s=self.deadline_floor_s,
+            hedge_dispatch=self.hedge_dispatch,
+            hedge_threshold_s=self.hedge_threshold_s,
+            task_budget_s=self.task_budget_s,
         )
 
     # ------------------------------------------------------------------

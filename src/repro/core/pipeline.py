@@ -116,6 +116,9 @@ class FederatedModelSearch:
             socket_compression=config.socket_compression,
             socket_wire_dtype=config.socket_wire_dtype,
             delta_dispatch=config.delta_dispatch,
+            resilience=config.resilience_config(),
+            network_fault_plan=self._network_fault_plan(),
+            rng_seed=config.seed,
         )
         self.fault_injector: Optional[FaultInjector] = None
         if config.fault_plan_path:
@@ -209,6 +212,20 @@ class FederatedModelSearch:
             quarantine_backoff=c.quarantine_backoff,
             param_arena=c.param_arena,
         )
+
+    def _network_fault_plan(self):
+        """Load the wire-chaos plan named by ``config.network_faults``.
+
+        Returns None when chaos is off or the plan is empty; only the
+        socket backend injects wire faults, but the plan is parsed (and
+        validated) regardless of backend so a bad path fails loudly.
+        """
+        if not self.config.network_faults:
+            return None
+        from repro.faults.network import NetworkFaultPlan
+
+        plan = NetworkFaultPlan.load(self.config.network_faults)
+        return plan if plan.faults else None
 
     def _delay_model(self):
         if self.config.staleness_mix is None:

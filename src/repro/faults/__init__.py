@@ -10,9 +10,24 @@ checkpoints.
 
 Wire a plan in via ``ExperimentConfig(fault_plan_path="plan.json")`` or
 ``repro run --faults plan.json``; see ``examples/fault_tour.py``.
+
+The *wire* layer has its own chaos story in :mod:`repro.faults.network`:
+seeded :class:`NetworkFaultPlan` specs (latency, mid-frame drops,
+connect refusals, blackhole partitions, throttling, frame corruption)
+applied through :class:`ChaosConnection` on both sides of the socket
+transport — ``ExperimentConfig(network_faults="plan.json")`` /
+``$REPRO_NETWORK_FAULTS`` / ``repro run --network-faults plan.json``;
+see ``examples/chaos_tour.py``.
 """
 
 from .injector import FaultInjector
+from .network import (
+    NETWORK_FAULT_KINDS,
+    ChaosConnection,
+    ChaosEngine,
+    NetworkFaultPlan,
+    NetworkFaultSpec,
+)
 from .plan import FAULT_KINDS, FaultPlan, FaultSpec, InjectedServerCrash
 
 __all__ = [
@@ -21,4 +36,9 @@ __all__ = [
     "FaultSpec",
     "FaultInjector",
     "InjectedServerCrash",
+    "NETWORK_FAULT_KINDS",
+    "NetworkFaultPlan",
+    "NetworkFaultSpec",
+    "ChaosEngine",
+    "ChaosConnection",
 ]

@@ -616,6 +616,9 @@ def build_backend(
     socket_compression: str = "none",
     socket_wire_dtype: str = "float64",
     delta_dispatch: bool = False,
+    resilience: Optional[object] = None,
+    network_fault_plan: Optional[object] = None,
+    rng_seed: int = 0,
 ) -> ExecutionBackend:
     """Construct the backend ``name`` ("serial", "process", or "socket").
 
@@ -626,6 +629,13 @@ def build_backend(
     ``delta_dispatch`` enables versioned parameter caching on the
     distributed backends (the serial backend runs in-process and has
     nothing to cache); results are bit-identical either way.
+
+    ``resilience`` (a :class:`repro.transport.ResilienceConfig`) and
+    ``network_fault_plan`` (a :class:`repro.faults.NetworkFaultPlan`)
+    tune the socket backend's breakers/backoff/hedging and wire chaos;
+    the in-process backends have no wire and ignore both.  ``rng_seed``
+    seeds the backoff jitter's dedicated RNG stream (never the
+    model/search streams).
     """
     if name == "serial":
         return SerialBackend(participants, supernet_config, telemetry=telemetry)
@@ -655,5 +665,8 @@ def build_backend(
             wire_dtype=socket_wire_dtype,
             telemetry=telemetry,
             delta_dispatch=delta_dispatch,
+            resilience=resilience,
+            network_fault_plan=network_fault_plan,
+            rng_seed=rng_seed,
         )
     raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")

@@ -90,6 +90,10 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
     open_round: Dict = {}
     traced_rounds: List[Dict] = []
     op_totals: Dict[tuple, List] = {}
+    health_latest: Dict[str, Dict] = {}
+    fault_kinds: Dict[str, int] = collections.Counter()
+    breaker_transitions: Dict[str, int] = collections.Counter()
+    hedge_totals = {"hedges": 0, "wins": 0, "duplicates": 0}
 
     for event in events:
         name = event.get("event", "?")
@@ -174,6 +178,19 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
                     "bytes_received": float(event.get("bytes_received", 0.0)),
                 }
             )
+        elif name == "transport.health":
+            # Per-round snapshot; the report shows the latest state of
+            # each worker plus hedge totals accumulated across rounds.
+            hedge_totals["hedges"] += int(event.get("hedges", 0))
+            hedge_totals["wins"] += int(event.get("hedge_wins", 0))
+            hedge_totals["duplicates"] += int(event.get("hedge_duplicates", 0))
+            for worker in event.get("workers", []):
+                if isinstance(worker, dict):
+                    health_latest[str(worker.get("worker", "?"))] = dict(worker)
+        elif name == "fault.network":
+            fault_kinds[str(event.get("kind", "?"))] += 1
+        elif name == "transport.breaker":
+            breaker_transitions[str(event.get("worker", "?"))] += 1
         elif name == "dispatch.round":
             dispatch_rounds.append(
                 {
@@ -286,6 +303,21 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
             },
         }
 
+    health = None
+    if health_latest or fault_kinds or breaker_transitions:
+        health = {
+            "workers": [health_latest[k] for k in sorted(health_latest)],
+            "faults": dict(sorted(fault_kinds.items())),
+            "breaker_transitions": dict(sorted(breaker_transitions.items())),
+            "breaker_transitions_total": sum(breaker_transitions.values()),
+            "hedges": hedge_totals["hedges"],
+            "hedge_wins": hedge_totals["wins"],
+            "hedge_duplicates": hedge_totals["duplicates"],
+            "heartbeat_failures": event_counts.get(
+                "transport.heartbeat_failed", 0
+            ),
+        }
+
     ops = None
     if op_totals:
         ops = [
@@ -306,6 +338,7 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
         "participants": participant_rows,
         "rounds": rounds,
         "transport": transport,
+        "health": health,
         "dispatch": dispatch,
         "critical_path": critical_path,
         "ops": ops,
@@ -451,6 +484,58 @@ def render_trace(summary: Dict, top: int = 5, max_round_rows: int = 20) -> str:
         if len(transport["rounds"]) > len(shown):
             lines.append(
                 f"... ({len(transport['rounds']) - len(shown)} more rounds)"
+            )
+
+    health = summary.get("health")
+    if health:
+        lines.append("")
+        lines.append("## Worker health / chaos")
+        if health["faults"]:
+            fault_text = ", ".join(
+                f"{kind}={count}" for kind, count in health["faults"].items()
+            )
+            lines.append(f"  injected wire faults: {fault_text}")
+        lines.append(
+            f"  breaker transitions: {health['breaker_transitions_total']}   "
+            f"hedges: {health['hedges']}   "
+            f"hedge wins: {health['hedge_wins']}   "
+            f"duplicates discarded: {health['hedge_duplicates']}   "
+            f"heartbeat failures: {health['heartbeat_failures']}"
+        )
+        if health["workers"]:
+            lines.append(
+                markdown_table(
+                    [
+                        "worker",
+                        "state",
+                        "score",
+                        "ewma_rtt_ms",
+                        "deadline_s",
+                        "ok",
+                        "failed",
+                        "hb_fail",
+                        "hedge_wins",
+                    ],
+                    [
+                        [
+                            w.get("worker", "?"),
+                            w.get("state", "?"),
+                            float(w.get("score", 0.0)),
+                            (
+                                float("nan")
+                                if w.get("ewma_rtt_ms") is None
+                                else float(w["ewma_rtt_ms"])
+                            ),
+                            float(w.get("deadline_s", 0.0)),
+                            int(w.get("ok", 0)),
+                            int(w.get("failed", 0)),
+                            int(w.get("heartbeat_failures", 0)),
+                            int(w.get("hedge_wins", 0)),
+                        ]
+                        for w in health["workers"]
+                    ],
+                    precision=3,
+                )
             )
 
     dispatch = summary.get("dispatch")

@@ -20,13 +20,22 @@ Layers, bottom up:
   zlib compression and reduced wire precision, both negotiated at hello.
 * :mod:`repro.transport.worker` — the participant daemon: accept loop,
   hello/init registration, task execution, heartbeats, reconnects.
+* :mod:`repro.transport.resilience` — circuit breakers, worker health
+  scores, adaptive deadlines, and full-jitter retry backoff (pure
+  bookkeeping the backend composes around dispatch).
 * :mod:`repro.transport.backend` — :class:`SocketBackend`: dispatches
-  ``LocalStepTask``s to connected workers, enforces per-task deadlines
-  with one retry on a different replica, degrades unreachable workers'
-  tasks to offline-for-the-round, and re-registers workers that come
-  back.  Wire telemetry (``transport.bytes_sent/received``, RTT
-  histograms, per-round byte counts) flows through the regular
-  telemetry registry and ``repro trace``.
+  ``LocalStepTask``s to connected workers through a work-pulling pass
+  with per-worker circuit breakers, adaptive deadlines, and hedged
+  dispatch; retries ride backoff passes onto different replicas under a
+  total per-task budget; exhausted tasks degrade to
+  offline-for-the-round; workers that come back re-register.  Wire
+  telemetry (``transport.bytes_sent/received``, RTT histograms,
+  per-round byte counts, breaker transitions, per-round worker health)
+  flows through the regular telemetry registry and ``repro trace``.
+
+Chaos testing: a :class:`repro.faults.network.NetworkFaultPlan` wraps
+connections on either side in a ``ChaosConnection`` that injects seeded
+latency, drops, partitions, throttling, and frame corruption.
 
 Trust model: the init message ships participant shards via pickle, so
 workers must only accept connections from hosts you control (the
@@ -62,6 +71,15 @@ from .protocol import (
     decode_frame,
     encode_frame,
 )
+from .resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryBackoff,
+    WorkerHealth,
+)
 from .worker import READY_PREFIX, WorkerServer, serve
 
 __all__ = [
@@ -95,4 +113,11 @@ __all__ = [
     "SocketBackend",
     "WorkerEndpoint",
     "spawn_local_worker",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "CircuitBreaker",
+    "WorkerHealth",
+    "RetryBackoff",
+    "ResilienceConfig",
 ]

@@ -25,6 +25,34 @@ Failure semantics per round (mirrors :class:`ProcessPoolBackend`):
   round and re-dialled (re-registered) at the next round's start, so a
   worker that comes back re-enters the pool next round.
 
+Resilient dispatch (:mod:`repro.transport.resilience`):
+
+* every worker carries a :class:`CircuitBreaker` — consecutive
+  failures trip it open, which skips dispatch *and* gates
+  redial/respawn until a cooldown passes, then one half-open probe
+  decides (transitions emitted as ``transport.breaker`` events);
+* retry passes are separated by exponential backoff with full jitter
+  from a dedicated RNG stream (never the model/search streams);
+* per-worker deadlines adapt to observed task RTTs (EWMA/p95, clamped
+  to ``[deadline_floor_s, task_timeout_s]``) once enough samples exist;
+* a task pending past its hedge threshold is speculatively re-sent to
+  an idle live replica; the first valid result wins, the loser's reply
+  is discarded (safe: ``run_local_step`` is deterministic per
+  ``batch_seed``) but still updates the loser's delta-dispatch ack map;
+* every task has a *total* wall budget across all passes
+  (``task_budget_s``, default ``(task_retries + 1) × task_timeout_s``),
+  so retries can never multiply the worst-case round wall-clock beyond
+  the documented bound;
+* worker health (failure history + RTTs) is summarized per round in a
+  ``transport.health`` event which ``repro trace`` renders as the
+  "Worker health / chaos" table.
+
+Network chaos: pass a :class:`repro.faults.network.NetworkFaultPlan`
+and every connection is wrapped in a :class:`ChaosConnection` that
+injects seeded latency/drops/partitions/corruption at the frame layer
+(``fault.network`` telemetry) — the soak tests drive the resilience
+machinery through exactly these faults.
+
 Determinism: workers compute :func:`run_local_step` on bit-exact
 float64 payloads (default wire precision), every source of randomness
 travels inside the task, and results are returned in task order — so a
@@ -50,8 +78,10 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.faults.network import ChaosEngine, NetworkFaultPlan
 from repro.federated.executor import ParticipantSpec, TaskResult
 from repro.federated.participant import LocalStepTask
 from repro.federated.versioning import split_delta
@@ -74,6 +104,13 @@ from .protocol import (
     MSG_UPDATE,
     FrameConnection,
     ProtocolError,
+)
+from .resilience import (
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryBackoff,
+    WorkerHealth,
 )
 from .worker import READY_PREFIX
 
@@ -172,6 +209,11 @@ class WorkerEndpoint:
         #: reset on every (re-)registration, since MSG_INIT clears the
         #: daemon's parameter cache.
         self.acked: Dict[str, int] = {}
+        #: failure history + RTT statistics (resilient dispatch)
+        self.health = WorkerHealth()
+        #: per-worker circuit breaker; the backend swaps in one built
+        #: from its configured thresholds with a telemetry callback
+        self.breaker = CircuitBreaker()
 
     @property
     def address(self) -> str:
@@ -207,6 +249,9 @@ class SocketBackend:
         telemetry: Optional[Telemetry] = None,
         spawn_idle_timeout_s: float = 300.0,
         delta_dispatch: bool = False,
+        resilience: Optional[ResilienceConfig] = None,
+        network_fault_plan: Optional[NetworkFaultPlan] = None,
+        rng_seed: int = 0,
     ):
         if task_timeout_s <= 0:
             raise ValueError(f"task_timeout_s must be positive, got {task_timeout_s}")
@@ -239,20 +284,38 @@ class SocketBackend:
         self.telemetry = telemetry or Telemetry.disabled()
         self._spawn_idle_timeout_s = float(spawn_idle_timeout_s)
         self.delta_dispatch = bool(delta_dispatch)
+        self.resilience = resilience or ResilienceConfig()
+        #: total per-task wall budget across every retry pass;
+        #: 0 = auto = the historical worst case, now an explicit bound
+        self.task_budget_s = self.resilience.task_budget_s or (
+            (int(max_retries) + 1) * float(task_timeout_s)
+        )
+        self._backoff = RetryBackoff(
+            self.resilience.retry_backoff_base_s,
+            self.resilience.retry_backoff_cap_s,
+            seed=rng_seed,
+        )
+        self._chaos: Optional[ChaosEngine] = None
+        if network_fault_plan is not None and network_fault_plan.faults:
+            self._chaos = ChaosEngine(
+                network_fault_plan, telemetry=telemetry, side="server"
+            )
         self._seq = 0
         self._round_counter = 0
         self._lock = threading.Lock()
         #: per-round delta-dispatch stats (guarded by _lock; worker
-        #: threads update it during _run_assignments)
+        #: threads update it during the dispatch pass)
         self._dispatch_stats = {
             "sent": 0, "cached": 0, "full_syncs": 0, "cache_misses": 0
         }
+        #: per-round hedge stats (guarded by the pass condition variable)
+        self._hedge_stats = {"dispatched": 0, "wins": 0, "duplicates": 0}
 
         if workers:
             self._auto_spawn = False
             self.num_workers = len(workers)
             self._endpoints = [
-                WorkerEndpoint(*parse_address(address)) for address in workers
+                self._make_endpoint(*parse_address(address)) for address in workers
             ]
         else:
             self._auto_spawn = True
@@ -269,6 +332,31 @@ class SocketBackend:
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
+    def _make_endpoint(
+        self, host: str, port: int, proc: Optional[subprocess.Popen] = None
+    ) -> WorkerEndpoint:
+        endpoint = WorkerEndpoint(host, port, proc=proc)
+        endpoint.breaker = CircuitBreaker(
+            failure_threshold=self.resilience.breaker_failure_threshold,
+            cooldown_s=self.resilience.breaker_cooldown_s,
+            cooldown_max_s=self.resilience.breaker_cooldown_max_s,
+            on_transition=lambda old, new: self._on_breaker(endpoint, old, new),
+        )
+        return endpoint
+
+    def _on_breaker(self, endpoint: WorkerEndpoint, old: str, new: str) -> None:
+        if not self.telemetry.enabled:
+            return
+        with self._lock:
+            self.telemetry.count("transport.breaker_transitions")
+            self.telemetry.emit(
+                "transport.breaker",
+                worker=endpoint.address,
+                from_state=old,
+                to_state=new,
+                cooldown_s=endpoint.breaker.cooldown_s,
+            )
+
     def _on_traffic(self, sent: int, received: int) -> None:
         if not self.telemetry.enabled:
             return
@@ -280,13 +368,25 @@ class SocketBackend:
 
     def _register(self, endpoint: WorkerEndpoint) -> bool:
         """Dial + hello + init one endpoint; returns success."""
+        if self._chaos is not None and self._chaos.refuse_connect(endpoint.address):
+            endpoint.breaker.record_failure()
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "transport.register_failed",
+                    worker=endpoint.address,
+                    error="chaos: connection refused",
+                )
+            return False
         try:
             sock = socket.create_connection(
                 (endpoint.host, endpoint.port), timeout=self.connect_timeout_s
             )
         except OSError:
+            endpoint.breaker.record_failure()
             return False
         conn = FrameConnection(sock, on_traffic=self._on_traffic)
+        if self._chaos is not None:
+            conn = self._chaos.wrap(conn, endpoint.address)
         try:
             # Capabilities travel as *extra* hello keys only when
             # enabled, so capability-off hello bytes are unchanged.
@@ -318,6 +418,7 @@ class SocketBackend:
                 )
         except (ProtocolError, OSError) as exc:
             conn.close()
+            endpoint.breaker.record_failure()
             if self.telemetry.enabled:
                 self.telemetry.emit(
                     "transport.register_failed",
@@ -327,6 +428,7 @@ class SocketBackend:
             return False
         endpoint.conn = conn
         endpoint.registered = True
+        endpoint.breaker.record_success()
         # Registration sent MSG_INIT, which cleared the daemon's delta
         # cache: every previously acknowledged version is void.
         endpoint.acked = {}
@@ -353,27 +455,39 @@ class SocketBackend:
 
         Called at the start of every ``run_tasks`` — this is where a
         worker that dropped in an earlier round re-enters the pool.
+        A worker whose circuit breaker is open sits out: no respawn, no
+        redial, until the cooldown admits a half-open probe (the probe
+        *is* the registration attempt).  Live endpoints come back
+        ordered by health score, best first.
         """
         if self._auto_spawn and not self._endpoints:
             for _ in range(self.num_workers):
                 proc, host, port = spawn_local_worker(
                     idle_timeout_s=self._spawn_idle_timeout_s
                 )
-                self._endpoints.append(WorkerEndpoint(host, port, proc=proc))
+                self._endpoints.append(self._make_endpoint(host, port, proc=proc))
         for endpoint in self._endpoints:
-            # An owned daemon that died (e.g. kill -9) gets a fresh
-            # process on its slot.
-            if (
+            needs_respawn = (
                 self._auto_spawn
                 and endpoint.proc is not None
                 and endpoint.proc.poll() is not None
-            ):
+            )
+            if (needs_respawn or not endpoint.alive) and not endpoint.breaker.try_acquire():
+                # Breaker open: this worker keeps failing — don't burn a
+                # respawn/redial on it until the cooldown expires.
+                if self.telemetry.enabled:
+                    self.telemetry.count("transport.respawn_gated")
+                continue
+            # An owned daemon that died (e.g. kill -9) gets a fresh
+            # process on its slot.
+            if needs_respawn:
                 endpoint.drop()
                 try:
                     proc, host, port = spawn_local_worker(
                         idle_timeout_s=self._spawn_idle_timeout_s
                     )
                 except RuntimeError:
+                    endpoint.breaker.record_failure()
                     continue
                 endpoint.proc, endpoint.host, endpoint.port = proc, host, port
                 if self.telemetry.enabled:
@@ -387,7 +501,9 @@ class SocketBackend:
                 # Stale connection (worker restarted, half-open TCP):
                 # drop and immediately try one re-registration.
                 self._register(endpoint)
-        return [e for e in self._endpoints if e.alive]
+        live = [e for e in self._endpoints if e.alive]
+        live.sort(key=lambda e: -e.health.score())
+        return live
 
     def _heartbeat(self, endpoint: WorkerEndpoint) -> bool:
         start = time.perf_counter()
@@ -399,13 +515,23 @@ class SocketBackend:
                 raise ProtocolError(
                     f"expected heartbeat_ack, got message type {msg_type:#x}"
                 )
-        except (ProtocolError, OSError) as exc:
+        except (ProtocolError, OSError, socket.timeout) as exc:
+            endpoint.health.record_heartbeat(ok=False)
+            endpoint.breaker.record_failure()
+            if self.telemetry.enabled:
+                self.telemetry.count("transport.heartbeat_failures")
+                self.telemetry.emit(
+                    "transport.heartbeat_failed",
+                    worker=endpoint.address,
+                    error=str(exc),
+                )
             self._mark_lost(endpoint, f"heartbeat failed: {exc}")
             return False
+        rtt = time.perf_counter() - start
+        endpoint.health.record_heartbeat(ok=True, rtt_s=rtt)
+        endpoint.breaker.record_success()
         if self.telemetry.enabled:
-            self.telemetry.observe(
-                "transport.heartbeat_rtt_s", time.perf_counter() - start
-            )
+            self.telemetry.observe("transport.heartbeat_rtt_s", rtt)
         return True
 
     # ------------------------------------------------------------------
@@ -449,7 +575,10 @@ class SocketBackend:
         return dataclasses.replace(task, state=delta, state_refs=refs)
 
     def _execute_on(
-        self, endpoint: WorkerEndpoint, task: LocalStepTask
+        self,
+        endpoint: WorkerEndpoint,
+        task: LocalStepTask,
+        timeout_s: Optional[float] = None,
     ) -> Tuple[Optional[TaskResult], str]:
         """One attempt of one task on one worker.
 
@@ -457,7 +586,11 @@ class SocketBackend:
         failure; connection-level failures also mark the worker lost.  A
         delta cache miss is not a failure: the task is immediately
         re-sent in full on the same connection (a full task cannot miss).
+        ``timeout_s`` is the (possibly adaptive) deadline for this
+        attempt; it defaults to the static ``task_timeout_s``.  Outcomes
+        feed the worker's health history and circuit breaker.
         """
+        timeout_s = self.task_timeout_s if timeout_s is None else timeout_s
         if task.trace is not None and not endpoint.tracing_ok:
             # Old worker (no tracing capability): send the historical
             # wire format; its spans are simply absent from the trace.
@@ -484,7 +617,7 @@ class SocketBackend:
             dispatch_ts = self.telemetry.now()
             try:
                 msg_type, reply = endpoint.conn.request(
-                    MSG_TASK, payload, timeout=self.task_timeout_s
+                    MSG_TASK, payload, timeout=timeout_s
                 )
                 if msg_type == MSG_ERROR:
                     info = codec.decode_error_info(reply)
@@ -508,6 +641,8 @@ class SocketBackend:
                         resyncing = True
                         continue
                     # The worker is healthy, the task failed remotely.
+                    endpoint.health.record_task(ok=False)
+                    endpoint.breaker.record_failure()
                     return None, f"remote error: {info['error']}"
                 if msg_type != MSG_UPDATE:
                     raise ProtocolError(
@@ -519,15 +654,21 @@ class SocketBackend:
                         f"reply seq {reply_seq} does not match request seq {seq}"
                     )
             except socket.timeout:
+                endpoint.health.record_task(ok=False)
+                endpoint.breaker.record_failure()
                 self._mark_lost(
-                    endpoint, f"task deadline ({self.task_timeout_s:g}s) exceeded"
+                    endpoint, f"task deadline ({timeout_s:g}s) exceeded"
                 )
-                return None, f"task timed out after {self.task_timeout_s:g}s"
+                return None, f"task timed out after {timeout_s:g}s"
             except (ProtocolError, OSError) as exc:
+                endpoint.health.record_task(ok=False)
+                endpoint.breaker.record_failure()
                 self._mark_lost(endpoint, str(exc))
                 return None, f"{type(exc).__name__}: {exc}"
             break
         rtt = time.perf_counter() - start
+        endpoint.health.record_task(ok=True, rtt_s=rtt)
+        endpoint.breaker.record_success()
         receive_ts = self.telemetry.now()
         if self.telemetry.enabled and update.spans is not None:
             with self._lock:
@@ -571,9 +712,13 @@ class SocketBackend:
             self._dispatch_stats = {
                 "sent": 0, "cached": 0, "full_syncs": 0, "cache_misses": 0
             }
+            self._hedge_stats = {"dispatched": 0, "wins": 0, "duplicates": 0}
         results: List[Optional[TaskResult]] = [None] * len(tasks)
         attempts = [0] * len(tasks)
         last_error = ["no live workers"] * len(tasks)
+        #: wall seconds already spent executing each task, every pass
+        #: and hedge included — the total-budget accounting
+        budget_spent = [0.0] * len(tasks)
 
         if telemetry.enabled:
             for task in tasks:
@@ -590,16 +735,35 @@ class SocketBackend:
         pending = list(range(len(tasks)))
         #: worker each task index failed on last (avoided on retry)
         failed_on: Dict[int, WorkerEndpoint] = {}
-        # Attempt 0 is the first dispatch; each extra pass is a retry.
+        # Attempt 0 is the first dispatch; each extra pass is a retry,
+        # preceded by full-jitter exponential backoff (private RNG).
         for attempt in range(self.max_retries + 1):
             if not pending:
                 break
-            live = [e for e in self._endpoints if e.alive]
+            if attempt > 0:
+                delay = self._backoff.delay(attempt)
+                if delay > 0:
+                    if telemetry.enabled:
+                        telemetry.observe("executor.retry_backoff_s", delay)
+                        telemetry.emit(
+                            "executor.retry_backoff",
+                            backend=self.name,
+                            round=round_index,
+                            attempt=attempt,
+                            delay_s=delay,
+                        )
+                    time.sleep(delay)
+            live = [
+                e
+                for e in self._endpoints
+                if e.alive and e.breaker.state != BREAKER_OPEN
+            ]
             if not live:
                 break
-            assignments = self._assign(pending, live, failed_on)
-            pending = self._run_assignments(
-                tasks, assignments, results, attempts, last_error, failed_on
+            live.sort(key=lambda e: -e.health.score())
+            pending = self._run_pass(
+                tasks, pending, live, results, attempts, last_error,
+                failed_on, budget_spent,
             )
             if pending and attempt < self.max_retries and telemetry.enabled:
                 for index in pending:
@@ -668,6 +832,45 @@ class SocketBackend:
                     cache_misses=stats["cache_misses"],
                     cache_hit=(stats["cached"] / total) if total else 0.0,
                 )
+            with self._lock:
+                hedge = dict(self._hedge_stats)
+            if hedge["dispatched"]:
+                telemetry.count("transport.hedges", hedge["dispatched"])
+                telemetry.count("transport.hedge_wins", hedge["wins"])
+                telemetry.count("transport.hedge_duplicates", hedge["duplicates"])
+            telemetry.emit(
+                "transport.health",
+                round=round_index,
+                hedges=hedge["dispatched"],
+                hedge_wins=hedge["wins"],
+                hedge_duplicates=hedge["duplicates"],
+                workers=[
+                    {
+                        "worker": e.address,
+                        "score": round(e.health.score(), 4),
+                        "state": e.breaker.state,
+                        "alive": e.alive,
+                        "ewma_rtt_ms": (
+                            round(e.health.ewma_rtt_s * 1000.0, 3)
+                            if e.health.ewma_rtt_s is not None
+                            else None
+                        ),
+                        "deadline_s": round(
+                            e.health.deadline(
+                                self.task_timeout_s,
+                                self.resilience.deadline_floor_s,
+                                self.resilience.adaptive_deadlines,
+                            ),
+                            3,
+                        ),
+                        "ok": e.health.successes,
+                        "failed": e.health.failures,
+                        "heartbeat_failures": e.health.heartbeat_failures,
+                        "hedge_wins": e.health.hedge_wins,
+                    }
+                    for e in self._endpoints
+                ],
+            )
         return final
 
     def _traffic_snapshot(self) -> Tuple[int, int]:
@@ -678,73 +881,163 @@ class SocketBackend:
                 received += endpoint.conn.bytes_received
         return sent, received
 
-    @staticmethod
-    def _assign(
-        pending: Sequence[int],
-        live: Sequence[WorkerEndpoint],
-        failed_on: Dict[int, WorkerEndpoint],
-    ) -> Dict[WorkerEndpoint, List[int]]:
-        """Round-robin pending task indices over live workers, steering
-        each retry onto a different replica than the one it failed on
-        (when more than one replica is alive)."""
-        assignments: Dict[WorkerEndpoint, List[int]] = {e: [] for e in live}
-        for position, index in enumerate(pending):
-            choice = live[position % len(live)]
-            avoid = failed_on.get(index)
-            if avoid is choice and len(live) > 1:
-                choice = live[(position + 1) % len(live)]
-            assignments[choice].append(index)
-        return assignments
-
-    def _run_assignments(
+    def _run_pass(
         self,
         tasks: Sequence[LocalStepTask],
-        assignments: Dict[WorkerEndpoint, List[int]],
+        pending: Sequence[int],
+        live: Sequence[WorkerEndpoint],
         results: List[Optional[TaskResult]],
         attempts: List[int],
         last_error: List[str],
         failed_on: Dict[int, WorkerEndpoint],
+        budget_spent: List[float],
     ) -> List[int]:
-        """Run one dispatch pass (one thread per worker); returns the
-        task indices that still need a retry."""
-        failures: List[int] = []
-        failures_lock = threading.Lock()
+        """One dispatch pass: every live worker *pulls* the next task.
 
-        def drive(endpoint: WorkerEndpoint, indices: List[int]) -> None:
-            for index in indices:
-                attempts[index] += 1
-                result, reason = self._execute_on(endpoint, tasks[index])
-                if result is not None:
-                    results[index] = result
+        A shared queue replaces the old static round-robin assignment —
+        fast workers naturally drain more of it, so dispatch follows
+        the health ordering without a planner.  A worker with an empty
+        queue speculatively re-dispatches (hedges) a task that has been
+        in flight elsewhere past its hedge threshold; the first valid
+        result wins and a loser's late reply is discarded — but still
+        runs through ``_execute_on``'s ack-map update, keeping the
+        delta-dispatch bookkeeping truthful on both replicas.  Returns
+        the task indices that still need a retry pass.
+        """
+        cond = threading.Condition()
+        queue: deque = deque(pending)
+        active: Dict[int, Set[WorkerEndpoint]] = {i: set() for i in pending}
+        started: Dict[int, float] = {}
+        hedged: Set[int] = set()
+        hedge_on = self.resilience.hedge_dispatch and len(live) > 1
+
+        def claim(endpoint: WorkerEndpoint):
+            """Pick ``(index, is_hedge)`` for this worker (cond held)."""
+            others_alive = any(e is not endpoint and e.alive for e in live)
+            for index in queue:
+                if failed_on.get(index) is endpoint and others_alive:
+                    # Retries go to a different replica when one exists.
                     continue
-                with failures_lock:
-                    failures.append(index)
-                    last_error[index] = reason
-                    failed_on[index] = endpoint
-                if not endpoint.alive:
-                    # Connection is gone; fail the rest of this
-                    # worker's queue fast so retries can pick them up.
-                    remaining = indices[indices.index(index) + 1 :]
-                    with failures_lock:
-                        for later in remaining:
-                            attempts[later] += 1
-                            failures.append(later)
-                            last_error[later] = (
-                                f"worker {endpoint.address} lost before dispatch"
-                            )
-                            failed_on[later] = endpoint
-                    return
+                if not endpoint.breaker.try_acquire():
+                    return None
+                queue.remove(index)
+                active[index].add(endpoint)
+                started.setdefault(index, time.monotonic())
+                return index, False
+            if not hedge_on or queue:
+                return None
+            now = time.monotonic()
+            for index, owners in active.items():
+                if results[index] is not None or not owners:
+                    continue
+                if endpoint in owners or index in hedged:
+                    continue
+                if failed_on.get(index) is endpoint:
+                    continue
+                primary = next(iter(owners))
+                threshold = primary.health.hedge_threshold(
+                    self.resilience.hedge_threshold_s
+                )
+                elapsed = now - started.get(index, now)
+                if threshold is None or elapsed < threshold:
+                    continue
+                if not endpoint.breaker.try_acquire():
+                    return None
+                hedged.add(index)
+                active[index].add(endpoint)
+                return index, True
+            return None
+
+        def work_left() -> bool:
+            if queue:
+                return True
+            return any(
+                owners and results[index] is None
+                for index, owners in active.items()
+            )
+
+        def drive(endpoint: WorkerEndpoint) -> None:
+            while True:
+                with cond:
+                    pick = None
+                    while pick is None:
+                        if not work_left():
+                            return
+                        if (
+                            not endpoint.alive
+                            or endpoint.breaker.state == BREAKER_OPEN
+                        ):
+                            return
+                        pick = claim(endpoint)
+                        if pick is None:
+                            # Re-check on a short tick: hedge thresholds
+                            # are time-based, not event-based.
+                            cond.wait(0.05)
+                    index, is_hedge = pick
+                    attempts[index] += 1
+                    if is_hedge:
+                        with self._lock:
+                            self._hedge_stats["dispatched"] += 1
+                            if self.telemetry.enabled:
+                                self.telemetry.emit(
+                                    "transport.hedge",
+                                    worker=endpoint.address,
+                                    round=tasks[index].round_index,
+                                    participant=tasks[index].participant_id,
+                                )
+                budget_left = self.task_budget_s - budget_spent[index]
+                if budget_left <= 0.05:
+                    result = None
+                    reason = f"task budget ({self.task_budget_s:g}s) exhausted"
+                    elapsed = 0.0
+                else:
+                    deadline = endpoint.health.deadline(
+                        self.task_timeout_s,
+                        self.resilience.deadline_floor_s,
+                        self.resilience.adaptive_deadlines,
+                    )
+                    begin = time.monotonic()
+                    result, reason = self._execute_on(
+                        endpoint, tasks[index],
+                        timeout_s=min(deadline, budget_left),
+                    )
+                    elapsed = time.monotonic() - begin
+                with cond:
+                    budget_spent[index] += elapsed
+                    active[index].discard(endpoint)
+                    if result is not None:
+                        if results[index] is None:
+                            results[index] = result
+                            if is_hedge:
+                                endpoint.health.hedge_wins += 1
+                                with self._lock:
+                                    self._hedge_stats["wins"] += 1
+                                    if self.telemetry.enabled:
+                                        self.telemetry.emit(
+                                            "transport.hedge_win",
+                                            worker=endpoint.address,
+                                            round=tasks[index].round_index,
+                                            participant=tasks[index].participant_id,
+                                        )
+                        else:
+                            # The race already produced a winner; this
+                            # reply is the hedge loser's duplicate.
+                            with self._lock:
+                                self._hedge_stats["duplicates"] += 1
+                    else:
+                        last_error[index] = reason
+                        failed_on[index] = endpoint
+                    cond.notify_all()
 
         threads = [
-            threading.Thread(target=drive, args=(endpoint, indices), daemon=True)
-            for endpoint, indices in assignments.items()
-            if indices
+            threading.Thread(target=drive, args=(endpoint,), daemon=True)
+            for endpoint in live
         ]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
-        return sorted(failures)
+        return sorted(i for i in pending if results[i] is None)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

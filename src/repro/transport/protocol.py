@@ -184,13 +184,16 @@ class FrameConnection:
         self, msg_type: int, payload: bytes = b"", timeout: Optional[float] = None
     ) -> int:
         """Send one frame; returns the number of wire bytes written."""
-        frame = encode_frame(msg_type, payload)
+        return self.send_bytes(encode_frame(msg_type, payload), timeout=timeout)
+
+    def send_bytes(self, data: bytes, timeout: Optional[float] = None) -> int:
+        """Write pre-encoded wire bytes (the chaos wrapper's hook point)."""
         self._sock.settimeout(timeout)
-        self._sock.sendall(frame)
-        self.bytes_sent += len(frame)
+        self._sock.sendall(data)
+        self.bytes_sent += len(data)
         if self._on_traffic is not None:
-            self._on_traffic(len(frame), 0)
-        return len(frame)
+            self._on_traffic(len(data), 0)
+        return len(data)
 
     def _recv_exact(self, count: int, deadline: Optional[float]) -> bytes:
         chunks = []

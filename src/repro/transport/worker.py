@@ -75,6 +75,13 @@ class WorkerServer:
         daemon behave like a pre-tracing worker (interop testing /
         ``repro serve --no-tracing``): the server then strips trace
         contexts before dispatching to it.
+    network_fault_plan:
+        Optional :class:`repro.faults.network.NetworkFaultPlan`
+        (``repro serve --network-faults PLAN.json``): every accepted
+        connection is wrapped in a :class:`ChaosConnection` so this
+        daemon misbehaves on the wire — the worker-side half of chaos
+        testing.  ``refuse`` faults close the connection straight after
+        ``accept`` (the daemon-side analogue of a refused dial).
     """
 
     def __init__(
@@ -83,9 +90,18 @@ class WorkerServer:
         port: int = 0,
         idle_timeout_s: Optional[float] = None,
         tracing: bool = True,
+        network_fault_plan=None,
     ):
         self.idle_timeout_s = idle_timeout_s
         self.tracing = bool(tracing)
+        self._chaos = None
+        if network_fault_plan is not None and network_fault_plan.faults:
+            # Imported lazily: repro.faults.network is a sibling of the
+            # transport package and importing it at module scope would
+            # cycle through repro.transport.
+            from repro.faults.network import ChaosEngine
+
+            self._chaos = ChaosEngine(network_fault_plan, side="worker")
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -119,7 +135,14 @@ class WorkerServer:
                 except OSError:
                     return 0  # listener closed under us (stop())
                 self.connections_served += 1
-                self._serve_connection(FrameConnection(sock))
+                conn = FrameConnection(sock)
+                if self._chaos is not None:
+                    peer = "{}:{}".format(*sock.getpeername()[:2])
+                    if self._chaos.refuse_connect(peer):
+                        conn.close()
+                        continue
+                    conn = self._chaos.wrap(conn, peer)
+                self._serve_connection(conn)
             return 0
         finally:
             self.close()
@@ -297,13 +320,20 @@ def serve(
     idle_timeout_s: Optional[float] = None,
     announce: bool = True,
     tracing: bool = True,
+    network_fault_plan=None,
 ) -> int:
     """Run a worker daemon until shutdown; the ``repro serve`` body.
 
     Prints ``REPRO-WORKER-READY <host> <port>`` once listening so a
     spawner using ``--port 0`` can learn the bound port.
     """
-    server = WorkerServer(host, port, idle_timeout_s=idle_timeout_s, tracing=tracing)
+    server = WorkerServer(
+        host,
+        port,
+        idle_timeout_s=idle_timeout_s,
+        tracing=tracing,
+        network_fault_plan=network_fault_plan,
+    )
     if announce:
         print(f"{READY_PREFIX} {server.host} {server.port}", flush=True)
         print(

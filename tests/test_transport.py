@@ -597,3 +597,103 @@ class TestSocketBackend:
             SocketBackend(participants, TINY, wire_dtype="int8")
         with pytest.raises(ValueError):
             SocketBackend(participants, TINY, workers=["no-port"])
+
+    def test_heartbeat_failure_counted_and_attributed(self, worker_thread):
+        """Satellite: a failed heartbeat increments
+        ``transport.heartbeat_failures`` and emits a per-worker
+        ``transport.heartbeat_failed`` event naming the endpoint."""
+        telemetry = Telemetry()
+        participants = build_participants()
+        address = f"{worker_thread.host}:{worker_thread.port}"
+        backend = SocketBackend(
+            participants,
+            TINY,
+            workers=[address],
+            task_timeout_s=30.0,
+            telemetry=telemetry,
+        )
+        try:
+            live = backend._ensure_workers()
+            assert len(live) == 1 and live[0].alive
+            # Simulate a half-open TCP connection: the socket dies under
+            # the endpoint without the backend noticing.  The next
+            # heartbeat must fail, be counted, and be attributed.
+            live[0].conn.close()
+            backend._ensure_workers()
+        finally:
+            backend.close()
+        snapshot = telemetry.metrics_snapshot()
+        assert (
+            snapshot.get("transport.heartbeat_failures", {}).get("value", 0)
+            >= 1
+        )
+        failed = [
+            e
+            for e in telemetry.events()
+            if e["event"] == "transport.heartbeat_failed"
+        ]
+        assert failed and failed[0]["worker"] == address
+        assert failed[0]["error"]
+
+
+# ----------------------------------------------------------------------
+# Stream fuzzing: mid-payload disconnects and partial frames at EOF
+# ----------------------------------------------------------------------
+class TestStreamFuzzing:
+    """Satellite: a peer that dies mid-frame must produce a prompt
+    ProtocolError (or clean drop) on the other side — never a hang —
+    whether the victim is the worker daemon or the client read loop."""
+
+    def test_worker_survives_mid_payload_disconnect(self, worker_thread):
+        frame = encode_frame(MSG_HEARTBEAT, b"x" * 256)
+        # Cut inside the header, exactly at the header boundary, and
+        # mid-payload: the daemon must drop each and keep serving.
+        for cut in (HEADER_BYTES - 3, HEADER_BYTES, HEADER_BYTES + 100):
+            sock = socket.create_connection(
+                (worker_thread.host, worker_thread.port), timeout=5
+            )
+            sock.sendall(frame[:cut])
+            sock.close()
+        conn = dial(worker_thread)
+        try:
+            msg, _ = conn.request(MSG_HELLO, codec.encode_hello(), timeout=10)
+            assert msg == MSG_HELLO_ACK
+        finally:
+            conn.close()
+
+    def test_client_partial_frame_at_eof_raises_never_hangs(self):
+        frame = encode_frame(MSG_UPDATE, b"payload bytes" * 16)
+        for cut in (0, 1, HEADER_BYTES - 1, HEADER_BYTES, len(frame) - 1):
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            client = socket.create_connection(
+                listener.getsockname(), timeout=5
+            )
+            server_side, _ = listener.accept()
+            server_side.sendall(frame[:cut])
+            server_side.close()
+            listener.close()
+            conn = FrameConnection(client)
+            start = time.monotonic()
+            with pytest.raises(ProtocolError, match="closed mid-frame"):
+                conn.recv_frame(timeout=5)
+            assert time.monotonic() - start < 5
+            conn.close()
+
+    def test_worker_partial_frame_then_eof_in_open_session(self, worker_thread):
+        """EOF halfway through a frame *inside* an established session
+        (hello already exchanged) drops the connection cleanly too."""
+        conn = dial(worker_thread)
+        msg, _ = conn.request(MSG_HELLO, codec.encode_hello(), timeout=10)
+        assert msg == MSG_HELLO_ACK
+        frame = encode_frame(MSG_HEARTBEAT, b"y" * 64)
+        conn.send_bytes(frame[: HEADER_BYTES + 7])
+        conn.close()
+        # The daemon survives and accepts the next session.
+        conn = dial(worker_thread)
+        try:
+            msg, _ = conn.request(MSG_HELLO, codec.encode_hello(), timeout=10)
+            assert msg == MSG_HELLO_ACK
+        finally:
+            conn.close()
