@@ -1,0 +1,158 @@
+"""Population-scale memory/latency: registry size vs server footprint.
+
+The population subsystem's headline claim is O(cohort + params) server
+memory at 100k+ registered participants: the registry stores ~25 bytes
+of columnar record per participant and materialises full
+``Participant`` objects (shard data included) only for sampled cohort
+members.  Each configuration runs in its **own subprocess** so
+``ru_maxrss`` measures that configuration's true peak RSS, uncontaminated
+by earlier allocations in the bench process.
+
+Shape claims:
+
+* peak server RSS is near-flat in the registered population (1k ->
+  100k adds less than 64 MB — the records themselves are ~2.5 MB at
+  100k),
+* only cohort members are ever materialised (``materializations`` ==
+  dispatched cohort slots, not the fleet),
+* registering 100k participants takes well under a second.
+
+Besides the human-readable results file, the headline numbers land in
+machine-readable, ``BENCH_population.json`` at the repo root.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from conftest import run_once, save_result
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_population.json"
+
+#: RSS-vs-population sweep (fixed cohort) and cohort sweep (fixed fleet).
+POPULATIONS = (1_000, 10_000, 100_000)
+RSS_COHORT = 50
+COHORTS = (10, 100, 1_000)
+COHORT_POPULATION = 100_000
+
+_DRIVER = r"""
+import json, resource, sys, time
+import numpy as np
+from repro.controller import ArchitecturePolicy
+from repro.core import ExperimentConfig
+from repro.data import synth_cifar10
+from repro.federated import FederatedSearchServer
+from repro.population import build_population
+from repro.search_space import Supernet, SupernetConfig
+
+population, cohort = int(sys.argv[1]), int(sys.argv[2])
+NET = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+train, _ = synth_cifar10(seed=1, train_per_class=20, test_per_class=2, image_size=8)
+config = ExperimentConfig(population=population, cohort_size=cohort,
+                          seed=0, batch_size=8)
+t0 = time.perf_counter()
+pop = build_population(config, train)
+construct_s = time.perf_counter() - t0
+server = FederatedSearchServer(
+    Supernet(NET, rng=np.random.default_rng(1)),
+    ArchitecturePolicy(NET.num_edges, rng=np.random.default_rng(2)),
+    [],
+    rng=np.random.default_rng(3),
+    population=pop,
+)
+t0 = time.perf_counter()
+server.run(1)
+round_s = time.perf_counter() - t0
+print(json.dumps({
+    "population": population,
+    "cohort": cohort,
+    "registered": pop.registry.num_registered,
+    "materializations": pop.registry.materializations,
+    "registry_construct_s": construct_s,
+    "round_s": round_s,
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+}))
+"""
+
+
+def measure(population, cohort):
+    env = dict(os.environ)
+    src = str(Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _DRIVER, str(population), str(cohort)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_population_scaling(benchmark):
+    def reproduce():
+        rss_sweep = [measure(p, RSS_COHORT) for p in POPULATIONS]
+        cohort_sweep = [measure(COHORT_POPULATION, c) for c in COHORTS]
+        return rss_sweep, cohort_sweep
+
+    rss_sweep, cohort_sweep = run_once(benchmark, reproduce)
+
+    lines = [
+        "Population scaling: per-config subprocess peak RSS (ru_maxrss)",
+        "",
+        f"RSS vs registered population (cohort={RSS_COHORT}, 1 round):",
+        f"{'population':>12} {'peak_rss_mb':>12} {'construct_s':>12} "
+        f"{'round_s':>9} {'materialized':>13}",
+    ]
+    for row in rss_sweep:
+        lines.append(
+            f"{row['population']:>12,} {row['peak_rss_mb']:>12.1f} "
+            f"{row['registry_construct_s']:>12.4f} {row['round_s']:>9.2f} "
+            f"{row['materializations']:>13}"
+        )
+    lines += [
+        "",
+        f"Cohort sweep at population={COHORT_POPULATION:,} (1 round):",
+        f"{'cohort':>12} {'peak_rss_mb':>12} {'round_s':>9} {'materialized':>13}",
+    ]
+    for row in cohort_sweep:
+        lines.append(
+            f"{row['cohort']:>12,} {row['peak_rss_mb']:>12.1f} "
+            f"{row['round_s']:>9.2f} {row['materializations']:>13}"
+        )
+    rss_small = rss_sweep[0]["peak_rss_mb"]
+    rss_large = rss_sweep[-1]["peak_rss_mb"]
+    lines += [
+        "",
+        f"RSS growth 1k -> 100k registered: {rss_large - rss_small:+.1f} MB "
+        f"(claim: O(cohort + params), near-flat in the population)",
+    ]
+    save_result("population_scaling", lines)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "rss_vs_population": rss_sweep,
+                "cohort_sweep": cohort_sweep,
+                "rss_growth_1k_to_100k_mb": rss_large - rss_small,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Near-flat server memory in the registered population.
+    assert rss_large - rss_small < 64.0, (
+        f"peak RSS grew {rss_large - rss_small:.1f} MB from 1k to 100k "
+        "registered participants; the registry must stay O(cohort + params)"
+    )
+    # Only sampled cohort members are ever materialised.
+    for row in rss_sweep + cohort_sweep:
+        assert row["materializations"] == min(row["cohort"], row["population"]), (
+            f"{row['materializations']} materialisations for a "
+            f"{row['cohort']}-member cohort"
+        )
+    # Registration is O(population) ints — far under a second at 100k.
+    assert rss_sweep[-1]["registry_construct_s"] < 1.0

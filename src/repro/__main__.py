@@ -71,6 +71,29 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPars
     )
     parser.add_argument("--non-iid", action="store_true", help="Dirichlet(0.5) shards")
     parser.add_argument("--participants", type=int, default=None, metavar="K")
+    parser.add_argument(
+        "--population", type=int, default=None, metavar="N",
+        help="population mode: register N lightweight participant records "
+        "and sample a per-round cohort instead of running every "
+        "participant every round; server memory stays O(cohort), not "
+        "O(population)",
+    )
+    parser.add_argument(
+        "--cohort-size", type=int, default=None, metavar="C",
+        help="participants sampled per round in population mode "
+        "(default: 50)",
+    )
+    parser.add_argument(
+        "--cohort-strategy", choices=("uniform", "weighted"), default=None,
+        help="cohort sampling: uniform over active participants, or "
+        "weighted by device compute speed (default: uniform)",
+    )
+    parser.add_argument(
+        "--churn-plan", default=None, metavar="PLAN.JSON",
+        help="evolve the population from a repro.population.ChurnPlan "
+        "JSON file (joins, permanent departures, temporary dropout "
+        "flaps); seeded and deterministic",
+    )
     parser.add_argument("--warmup-rounds", type=int, default=None)
     parser.add_argument("--search-rounds", type=int, default=None)
     parser.add_argument(
@@ -326,6 +349,14 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["mobility_modes"] = tuple(args.mobility)
     if args.participants is not None:
         overrides["num_participants"] = args.participants
+    if getattr(args, "population", None) is not None:
+        overrides["population"] = args.population
+    if getattr(args, "cohort_size", None) is not None:
+        overrides["cohort_size"] = args.cohort_size
+    if getattr(args, "cohort_strategy", None) is not None:
+        overrides["cohort_strategy"] = args.cohort_strategy
+    if getattr(args, "churn_plan", None):
+        overrides["churn_plan"] = args.churn_plan
     if args.warmup_rounds is not None:
         overrides["warmup_rounds"] = args.warmup_rounds
     if args.search_rounds is not None:

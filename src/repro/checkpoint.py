@@ -29,7 +29,12 @@ resume needs:
   restore and delivered at their original delivery round — nothing is
   re-dispatched and no participant work is lost;
 * quarantine state (strikes, sentences, offence counts) and, when a
-  fault injector is attached, its RNG state and fired-crash set.
+  fault injector is attached, its RNG state and fired-crash set;
+* in population mode, the whole population subsystem — registry record
+  arrays (lifecycle state, batch-seed draw counters, dormancy deadlines,
+  join rounds) in a ``population.npz`` member plus the cohort-sampler
+  and churn RNG states in the metadata — so a resumed run draws the
+  exact cohort and churn trajectory an uninterrupted run would.
 
 Formats: ``.npz`` for arrays, ``.json`` for metadata; no pickling, so
 checkpoints are portable and safe to load.
@@ -196,6 +201,25 @@ def save_search_state(
     stateful = capture_states(
         {"quarantine": server.quarantine, "injector": server.fault_injector}
     )
+
+    # Population subsystem: numpy record arrays go into their own zip
+    # member; the (JSON-safe) sampler/churn RNG states ride in the meta.
+    population = getattr(server, "population", None)
+    population_meta = None
+    population_arrays: Optional[Dict[str, np.ndarray]] = None
+    if population is not None:
+        pop_state = population.state_dict()
+        registry_state = pop_state["registry"]
+        population_arrays = {
+            name: np.asarray(registry_state[name])
+            for name in ("state", "draws", "dormant_until", "joined_round")
+        }
+        population_meta = {
+            "registered": int(registry_state["population"]),
+            "sampler": pop_state["sampler"],
+            "churn": pop_state["churn"],
+        }
+
     meta = {
         "format_version": _FORMAT_VERSION,
         "round": server.round,
@@ -208,6 +232,7 @@ def save_search_state(
         "pending": pending_meta,
         "quarantine": stateful["quarantine"],
         "injector": stateful["injector"],
+        "population": population_meta,
         "extra": extra or {},
     }
 
@@ -220,6 +245,8 @@ def save_search_state(
         archive.writestr("pools.npz", _arrays_to_bytes(pool_arrays))
         for i, arrays in enumerate(pending_arrays):
             archive.writestr(f"pending_{i}.npz", _arrays_to_bytes(arrays))
+        if population_arrays is not None:
+            archive.writestr("population.npz", _arrays_to_bytes(population_arrays))
         archive.writestr("meta.json", json.dumps(meta))
 
     _atomic_write(path, write)
@@ -285,6 +312,11 @@ def restore_search_state(
             _bytes_to_arrays(archive.read(f"pending_{i}.npz"))
             for i in range(len(meta["pending"]))
         ]
+        population_arrays = (
+            _bytes_to_arrays(archive.read("population.npz"))
+            if meta.get("population") is not None
+            else None
+        )
 
     # In-place application keeps any attached ParameterArena views bound
     # — a dict-mode checkpoint restores into an arena-mode server (and
@@ -397,6 +429,31 @@ def restore_search_state(
             "checkpoint.injector_mismatch",
             checkpoint_has_injector=injector_state is not None,
             server_has_injector=server.fault_injector is not None,
+        )
+
+    # --- population subsystem -----------------------------------------
+    # Unlike the injector, a population mismatch is a hard error: the
+    # cohort/churn RNG streams drive which participants compute at all,
+    # so restoring across the divide cannot be bit-identical (or even
+    # well-defined — the participant sets differ).
+    population_meta = meta.get("population")
+    population = getattr(server, "population", None)
+    if (population_meta is None) != (population is None):
+        raise ValueError(
+            "checkpoint and server disagree on population mode "
+            f"(checkpoint has population state: {population_meta is not None}, "
+            f"server has a population: {population is not None}); rebuild the "
+            "server with the population settings the checkpoint was saved with"
+        )
+    if population is not None:
+        registry_state = dict(population_arrays)
+        registry_state["population"] = int(population_meta["registered"])
+        population.load_state_dict(
+            {
+                "registry": registry_state,
+                "sampler": population_meta["sampler"],
+                "churn": population_meta["churn"],
+            }
         )
 
     # --- delta-dispatch invalidation ----------------------------------

@@ -31,6 +31,10 @@ _EXECUTION_BACKENDS = ("serial", "process", "socket")
 _SOCKET_COMPRESSIONS = ("none", "zlib")
 _SOCKET_WIRE_DTYPES = ("float16", "float32", "float64")
 
+#: Cohort sampling strategies (mirrors
+#: ``repro.population.SAMPLER_STRATEGIES``; literal for import-lightness).
+_COHORT_STRATEGIES = ("uniform", "weighted")
+
 
 def _default_backend() -> str:
     """Backend default: ``$REPRO_BACKEND`` when set, else ``serial``.
@@ -338,6 +342,27 @@ class ExperimentConfig:
     #: (``(task_retries + 1) × task_timeout_s``, the documented bound)
     task_budget_s: float = 0.0
 
+    # Population-scale rounds (see :mod:`repro.population`): decouple the
+    # registered population from the per-round working set.
+    #: registered participants (0 = off — the classic fixed
+    #: ``num_participants`` regime).  When > 0, ``num_participants`` is
+    #: ignored: the server keeps lightweight records for the whole
+    #: population and materialises only each round's sampled cohort.
+    population: int = 0
+    #: participants sampled per round in population mode (clamped to the
+    #: eligible population; the paper regime is 10–1000)
+    cohort_size: int = 50
+    #: cohort selection strategy: "uniform" or "weighted" (selection
+    #: probability proportional to device compute speed)
+    cohort_strategy: str = "uniform"
+    #: JSON churn plan (``repro.population.ChurnPlan``) evolving the
+    #: population across rounds — joins, departures, dropout flaps;
+    #: None = static population
+    churn_plan: Optional[str] = None
+    #: samples per on-demand participant shard; 0 = auto
+    #: (``min(len(train_set), max(2·batch_size, 32))``)
+    population_shard_size: int = 0
+
     # Checkpointing (see :mod:`repro.checkpoint`): write a
     # crash-consistent search checkpoint every N warm-up/search rounds
     # (0 = off).  ``checkpoint_path`` is required when enabled.
@@ -474,6 +499,25 @@ class ExperimentConfig:
         if self.task_budget_s < 0:
             raise ValueError(
                 f"task_budget_s must be >= 0, got {self.task_budget_s}"
+            )
+        if self.population < 0:
+            raise ValueError(f"population must be >= 0, got {self.population}")
+        if self.cohort_size < 1:
+            raise ValueError(f"cohort_size must be >= 1, got {self.cohort_size}")
+        if self.cohort_strategy not in _COHORT_STRATEGIES:
+            raise ValueError(
+                f"cohort_strategy must be one of {_COHORT_STRATEGIES}, "
+                f"got {self.cohort_strategy!r}"
+            )
+        if self.churn_plan is not None and self.population == 0:
+            raise ValueError(
+                "churn_plan requires population > 0 (churn evolves the "
+                "registered population)"
+            )
+        if self.population_shard_size < 0:
+            raise ValueError(
+                f"population_shard_size must be >= 0, "
+                f"got {self.population_shard_size}"
             )
         if self.checkpoint_every < 0:
             raise ValueError(

@@ -98,8 +98,23 @@ class FederatedModelSearch:
         self.telemetry = telemetry or build_telemetry(config)
         self.rng = np.random.default_rng(config.seed)
         self.train_set, self.test_set = self._build_dataset()
-        self.shards = self._partition(self.train_set)
-        self.participants = self._build_participants()
+        #: population-scale mode (``config.population > 0``): no eager
+        #: shards or participant objects — a registry of lightweight
+        #: records plus an on-demand derivation recipe replaces both.
+        #: The population-off path below is untouched (same RNG draws in
+        #: the same order), so existing runs stay bit-identical.
+        self.population = None
+        if config.population > 0:
+            from repro.population import build_population
+
+            self.population = build_population(
+                config, self.train_set, telemetry=self.telemetry
+            )
+            self.shards = []
+            self.participants = []
+        else:
+            self.shards = self._partition(self.train_set)
+            self.participants = self._build_participants()
         self.supernet = Supernet(config.supernet_config(), rng=self.rng)
         self.policy = ArchitecturePolicy(
             config.supernet_config().num_edges, rng=self.rng
@@ -108,6 +123,9 @@ class FederatedModelSearch:
             config.backend,
             self.participants,
             config.supernet_config(),
+            population=(
+                None if self.population is None else self.population.context
+            ),
             num_workers=config.num_workers or None,
             task_timeout_s=config.task_timeout_s,
             task_retries=config.task_retries,
@@ -135,6 +153,7 @@ class FederatedModelSearch:
             telemetry=self.telemetry,
             backend=self.backend,
             fault_injector=self.fault_injector,
+            population=self.population,
         )
         #: rounds completed so far, per phase — survives checkpoint/resume
         #: so a resumed pipeline's report covers the whole run.
@@ -365,10 +384,22 @@ class FederatedModelSearch:
                 telemetry=self.telemetry,
             )
         if mode == "federated":
+            shards = self.shards
+            if self.population is not None and not shards:
+                # Population mode keeps no eager shards; P3 retrains on a
+                # small fixed federation derived from the same on-demand
+                # recipe (the first ``num_participants`` ids).
+                from repro.data import derive_shard
+
+                context = self.population.context
+                shards = [
+                    derive_shard(self.train_set, context.descriptor(k))
+                    for k in range(self.config.num_participants)
+                ]
             return retrain_federated(
                 genotype,
                 self.config,
-                self.shards,
+                shards,
                 self.test_set,
                 rng=self.rng,
                 telemetry=self.telemetry,

@@ -2,6 +2,10 @@
 
 from .loader import DataLoader
 from .partition import (
+    SHARD_SCHEMES,
+    ShardDescriptor,
+    derive_shard,
+    derive_shard_indices,
     dirichlet_partition,
     equal_partition,
     iid_partition,
@@ -38,6 +42,10 @@ __all__ = [
     "equal_partition",
     "label_distribution",
     "skewness",
+    "SHARD_SCHEMES",
+    "ShardDescriptor",
+    "derive_shard",
+    "derive_shard_indices",
     "Compose",
     "RandomCrop",
     "RandomHorizontalFlip",

@@ -5,10 +5,24 @@ the class's samples are distributed over all participants according to a
 Dirichlet distribution ``Dir(0.5)``.  Smaller concentration parameters
 produce heavier label skew.  An i.i.d. splitter and an exact equal splitter
 (used by the number-of-participants study, Sec. VI-D) are also provided.
+
+Two partitioning regimes coexist:
+
+* **Eager** (:func:`dirichlet_partition` / :func:`iid_partition` /
+  :func:`equal_partition`) — materialise every shard up front.  Right
+  for the paper's cross-silo setting (~10 participants) where all
+  shards are live for the whole run.
+* **On demand** (:class:`ShardDescriptor` + :func:`derive_shard`) — a
+  participant's local data is a pure function of ``(seed, participant
+  id)``, derived only when that participant is actually sampled into a
+  round's cohort.  This is what lets :mod:`repro.population` register
+  100k+ participants without allocating a single shard: the registry
+  stores descriptors (a few ints each), not datasets.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List
 
 import numpy as np
@@ -16,12 +30,102 @@ import numpy as np
 from .synthetic import ArrayDataset
 
 __all__ = [
+    "SHARD_SCHEMES",
+    "ShardDescriptor",
+    "derive_shard_indices",
+    "derive_shard",
     "dirichlet_partition",
     "iid_partition",
     "equal_partition",
     "label_distribution",
     "skewness",
 ]
+
+#: Schemes accepted by :class:`ShardDescriptor`.
+SHARD_SCHEMES = ("iid", "dirichlet")
+
+#: Domain separator mixed into every shard RNG seed so shard derivation
+#: can never collide with the model/search/batch-seed streams.
+_SHARD_STREAM = 0x5A4D
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardDescriptor:
+    """A participant's local data as a recipe, not as arrays.
+
+    The shard is a deterministic pure function of the descriptor plus
+    the shared base dataset: the per-participant RNG is seeded from
+    ``(seed, participant)``, so any process — server or worker — can
+    derive bit-identical indices without ever seeing the other
+    participants' shards.  In the cross-device regime the population is
+    much larger than the proxy dataset, so shards are *sampled views*
+    (per-participant label mixtures) rather than a disjoint split.
+    """
+
+    scheme: str
+    seed: int
+    participant: int
+    size: int
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SHARD_SCHEMES:
+            raise ValueError(
+                f"shard scheme must be one of {SHARD_SCHEMES}, got {self.scheme!r}"
+            )
+        if self.participant < 0:
+            raise ValueError(
+                f"participant must be >= 0, got {self.participant}"
+            )
+        if self.size < 1:
+            raise ValueError(f"shard size must be >= 1, got {self.size}")
+        if self.alpha <= 0:
+            raise ValueError(f"Dirichlet alpha must be positive, got {self.alpha}")
+
+
+def derive_shard_indices(
+    labels: np.ndarray, num_classes: int, descriptor: ShardDescriptor
+) -> np.ndarray:
+    """Derive one participant's sample indices from its descriptor.
+
+    ``iid`` draws a uniform subset of the dataset; ``dirichlet`` first
+    draws the participant's label mixture from ``Dir(alpha)`` and then
+    samples per class accordingly (with replacement only when a class is
+    oversubscribed, so tiny proxy datasets still work).  Indices come
+    back sorted, matching the eager partitioners' convention.  Only this
+    participant's indices are ever allocated — O(size), not O(dataset ×
+    population).
+    """
+    labels = np.asarray(labels)
+    rng = np.random.default_rng(
+        [_SHARD_STREAM, descriptor.seed, descriptor.participant]
+    )
+    size = min(descriptor.size, len(labels)) if descriptor.scheme == "iid" else descriptor.size
+    if descriptor.scheme == "iid":
+        indices = rng.choice(len(labels), size=size, replace=False)
+        return np.sort(indices)
+    proportions = rng.dirichlet(np.full(num_classes, descriptor.alpha))
+    drawn_classes = rng.choice(num_classes, size=size, p=proportions)
+    pieces: List[np.ndarray] = []
+    for cls in range(num_classes):
+        count = int(np.sum(drawn_classes == cls))
+        if count == 0:
+            continue
+        class_indices = np.flatnonzero(labels == cls)
+        if len(class_indices) == 0:
+            # Degenerate base set missing the class: fall back to uniform.
+            pieces.append(rng.choice(len(labels), size=count, replace=True))
+            continue
+        pieces.append(
+            rng.choice(class_indices, size=count, replace=count > len(class_indices))
+        )
+    return np.sort(np.concatenate(pieces))
+
+
+def derive_shard(dataset: ArrayDataset, descriptor: ShardDescriptor) -> ArrayDataset:
+    """Materialise the shard a :class:`ShardDescriptor` describes."""
+    indices = derive_shard_indices(dataset.labels, dataset.num_classes, descriptor)
+    return dataset.subset(indices)
 
 
 def dirichlet_partition(

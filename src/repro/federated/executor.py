@@ -153,11 +153,25 @@ class SerialBackend:
         supernet_config: SupernetConfig,
         telemetry: Optional[Telemetry] = None,
         fault_hook: Optional[Callable[[LocalStepTask], None]] = None,
+        population: Optional[object] = None,
     ):
         self._participants = {p.participant_id: p for p in participants}
         self._supernet_config = supernet_config
         self.telemetry = telemetry or Telemetry.disabled()
         self._fault_hook = fault_hook
+        #: population spec source (``repro.population.PopulationContext``,
+        #: duck-typed): lets :meth:`provision` swap in per-round cohorts.
+        self._population = population
+
+    def provision(self, participants: Sequence[Participant]) -> None:
+        """Install this round's materialised cohort (population mode).
+
+        The server materialises cohort participants anyway (it owns
+        their batch-seed counters), so the serial backend reuses those
+        live objects instead of re-deriving shards — the working set is
+        exactly one cohort, never the whole population.
+        """
+        self._participants = {p.participant_id: p for p in participants}
 
     def run_tasks(self, tasks: Sequence[LocalStepTask]) -> List[TaskResult]:
         telemetry = self.telemetry
@@ -226,14 +240,41 @@ def _init_worker(
     specs: Sequence[ParticipantSpec],
     supernet_config: SupernetConfig,
     fault_hook: Optional[Callable[[LocalStepTask], None]],
+    population: Optional[object] = None,
 ) -> None:
     _WORKER_STATE["specs"] = {spec.participant_id: spec for spec in specs}
     _WORKER_STATE["supernet_config"] = supernet_config
     _WORKER_STATE["fault_hook"] = fault_hook
+    # Population mode: workers receive the shared derivation context
+    # (base dataset + partition recipe) once, instead of O(population)
+    # spec lists — any participant's spec is derived on first use.
+    _WORKER_STATE["population"] = population
     # (name -> (version, array)) delta-dispatch cache; starts cold in
     # every fresh worker process, so stale entries cannot survive a
     # pool teardown or worker replacement.
     _WORKER_STATE["param_cache"] = {}
+
+
+#: Most derived specs a worker keeps before evicting the oldest —
+#: bounds worker memory to O(cache + params) under heavy churn.
+_SPEC_CACHE_LIMIT = 1024
+
+
+def _worker_spec(participant_id: int) -> ParticipantSpec:
+    """Resolve a task's spec: installed map first, else derive from the
+    population context (cached FIFO, bounded)."""
+    specs: Dict[int, ParticipantSpec] = _WORKER_STATE["specs"]  # type: ignore[assignment]
+    spec = specs.get(participant_id)
+    if spec is not None:
+        return spec
+    population = _WORKER_STATE.get("population")
+    if population is None:
+        raise KeyError(f"no spec for participant {participant_id}")
+    spec = population.spec(participant_id)  # type: ignore[attr-defined]
+    if len(specs) >= _SPEC_CACHE_LIMIT:
+        specs.pop(next(iter(specs)))
+    specs[participant_id] = spec
+    return spec
 
 
 #: first element of a worker reply that could not resolve its delta refs
@@ -267,8 +308,7 @@ def _run_task(task: LocalStepTask):
         hook = _WORKER_STATE.get("fault_hook")
         if hook is not None:
             hook(task)
-        specs: Dict[int, ParticipantSpec] = _WORKER_STATE["specs"]  # type: ignore[assignment]
-        spec = specs[task.participant_id]
+        spec = _worker_spec(task.participant_id)
         start = time.perf_counter()
         update = run_local_step(
             task,
@@ -346,6 +386,7 @@ class ProcessPoolBackend:
         fault_hook: Optional[Callable[[LocalStepTask], None]] = None,
         start_method: Optional[str] = None,
         delta_dispatch: bool = False,
+        population: Optional[object] = None,
     ):
         if task_timeout_s <= 0:
             raise ValueError(f"task_timeout_s must be positive, got {task_timeout_s}")
@@ -357,12 +398,18 @@ class ProcessPoolBackend:
             else ParticipantSpec.from_participant(spec)  # type: ignore[arg-type]
             for spec in participants
         ]
-        if not self._specs:
+        self._population = population
+        if not self._specs and population is None:
             raise ValueError("at least one participant required")
         self._supernet_config = supernet_config
-        self.num_workers = int(num_workers) if num_workers else min(
-            len(self._specs), os.cpu_count() or 2
-        )
+        if num_workers:
+            self.num_workers = int(num_workers)
+        elif self._specs:
+            self.num_workers = min(len(self._specs), os.cpu_count() or 2)
+        else:
+            # Population mode: the working set is the cohort, not the
+            # spec list (which is empty) — default to the machine.
+            self.num_workers = os.cpu_count() or 2
         if self.num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
         self.task_timeout_s = float(task_timeout_s)
@@ -388,7 +435,12 @@ class ProcessPoolBackend:
             self._pool = self._ctx.Pool(
                 processes=self.num_workers,
                 initializer=_init_worker,
-                initargs=(self._specs, self._supernet_config, self._fault_hook),
+                initargs=(
+                    self._specs,
+                    self._supernet_config,
+                    self._fault_hook,
+                    self._population,
+                ),
             )
         return self._pool
 
@@ -619,6 +671,7 @@ def build_backend(
     resilience: Optional[object] = None,
     network_fault_plan: Optional[object] = None,
     rng_seed: int = 0,
+    population: Optional[object] = None,
 ) -> ExecutionBackend:
     """Construct the backend ``name`` ("serial", "process", or "socket").
 
@@ -636,9 +689,16 @@ def build_backend(
     the in-process backends have no wire and ignore both.  ``rng_seed``
     seeds the backoff jitter's dedicated RNG stream (never the
     model/search streams).
+
+    ``population`` (a ``repro.population.PopulationContext``) switches
+    the backends to population mode: ``participants`` may be empty, and
+    workers derive any participant's spec on demand from the shared
+    context instead of holding O(population) spec lists.
     """
     if name == "serial":
-        return SerialBackend(participants, supernet_config, telemetry=telemetry)
+        return SerialBackend(
+            participants, supernet_config, telemetry=telemetry, population=population
+        )
     if name == "process":
         return ProcessPoolBackend(
             participants,
@@ -648,6 +708,7 @@ def build_backend(
             max_retries=task_retries,
             telemetry=telemetry,
             delta_dispatch=delta_dispatch,
+            population=population,
         )
     if name == "socket":
         # Imported lazily: the transport package imports this module for
@@ -668,5 +729,6 @@ def build_backend(
             resilience=resilience,
             network_fault_plan=network_fault_plan,
             rng_seed=rng_seed,
+            population=population,
         )
     raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")

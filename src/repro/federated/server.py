@@ -158,6 +158,33 @@ class _PendingUpdate:
     update: ParticipantUpdate
 
 
+class _RoundAccumulator:
+    """Streaming fold of one round's usable arrivals.
+
+    Holds everything the end-of-round θ/α/BN steps need — the REINFORCE
+    estimator, the sparse gradient sum, incrementally folded BN buffer
+    sums, rewards, and outcome counters — so updates can be ingested one
+    at a time (see :meth:`FederatedSearchServer._ingest_arrival`).  In
+    population mode fresh updates fold in as they arrive, without
+    staging through the pending queue; the legacy path feeds it the
+    round's matured arrivals in queue order, which keeps every
+    accumulation in the historical arithmetic order.
+    """
+
+    def __init__(self, policy: ArchitecturePolicy):
+        self.estimator = ReinforceEstimator(policy)
+        self.grad_sum: Dict[str, np.ndarray] = {}
+        self.buffer_sums: Dict[str, np.ndarray] = {}
+        self.buffer_counts: Dict[str, int] = {}
+        self.rewards: List[float] = []
+        self.num_arrivals = 0
+        self.num_fresh = 0
+        self.num_stale = 0
+        self.num_dropped = 0
+        self.num_rejected = 0
+        self.used = 0
+
+
 class FederatedSearchServer:
     """Coordinates policy, supernet, participants, and synchronisation."""
 
@@ -172,8 +199,9 @@ class FederatedSearchServer:
         telemetry: Optional[Telemetry] = None,
         backend: Optional[ExecutionBackend] = None,
         fault_injector=None,
+        population=None,
     ):
-        if not participants:
+        if not participants and population is None:
             raise ValueError("at least one participant required")
         if policy.num_edges != supernet.config.num_edges:
             raise ValueError(
@@ -183,6 +211,16 @@ class FederatedSearchServer:
         self.supernet = supernet
         self.policy = policy
         self.participants = list(participants)
+        #: population-scale mode (a :class:`repro.population.
+        #: PopulationManager`, duck-typed): the fixed participant list is
+        #: replaced by a registry of lightweight records, and each round
+        #: works over a sampled cohort materialised on demand.
+        self.population = population
+        #: this round's materialised cohort (population mode only);
+        #: replaced wholesale every round, so server memory stays
+        #: O(cohort), never O(registered population).
+        self._cohort: Dict[int, Participant] = {}
+        self._cohort_target = 0
         self.config = config or SearchServerConfig()
         self.delay_model = delay_model or HardSync()
         self.rng = rng or np.random.default_rng()
@@ -192,7 +230,10 @@ class FederatedSearchServer:
         #: :class:`ParticipantUpdate` replies, so the backend may run
         #: them serially, on a process pool, or (eventually) on a wire.
         self.backend: ExecutionBackend = backend or SerialBackend(
-            self.participants, supernet.config, telemetry=self.telemetry
+            self.participants,
+            supernet.config,
+            telemetry=self.telemetry,
+            population=None if population is None else population.context,
         )
         #: optional :class:`repro.faults.FaultInjector` (duck-typed so the
         #: federated layer never imports the faults package); consulted at
@@ -259,6 +300,10 @@ class FederatedSearchServer:
             if self.config.param_arena
             else None
         )
+        if self.arena is not None and hasattr(self.backend, "bind_arena"):
+            # Backends that pack wire blobs can gather them straight from
+            # the arena's contiguous buffer (byte-identical payloads).
+            self.backend.bind_arena(self.arena)
         #: preallocated per-name accumulation buffers for the sparse
         #: gradient aggregation (reused across rounds; see _add_gradients)
         self._grad_buffers: Dict[str, np.ndarray] = {}
@@ -287,7 +332,11 @@ class FederatedSearchServer:
             arena=self.arena,
         )
 
-        online = self._sample_online()
+        if self.population is not None:
+            online = self._sample_cohort(t)
+        else:
+            online = self._sample_online()
+        accumulator = _RoundAccumulator(self.policy)
         max_latency = 0.0
         mean_size = 0.0
         round_duration = 0.0
@@ -318,7 +367,7 @@ class FederatedSearchServer:
                         round_index=t,
                         mask=mask,
                         state=state,
-                        batch_seed=self.participants[k].draw_batch_seed(),
+                        batch_seed=self._participant(k).draw_batch_seed(),
                         state_versions=self.versions.subset(state),
                         trace=trace,
                     )
@@ -338,6 +387,7 @@ class FederatedSearchServer:
             delivered_sizes: List[float] = []
             delivered_indices: List[int] = []
             compute_times: List[float] = []
+            new_items: List[_PendingUpdate] = []
             for slot, result in enumerate(task_results):
                 if not result.ok:
                     # Worker crash / timeout: the participant is offline
@@ -362,7 +412,7 @@ class FederatedSearchServer:
                         t, online[slot], result.update
                     )
                 for update in updates:
-                    self._pending.append(
+                    new_items.append(
                         _PendingUpdate(
                             origin_round=t,
                             delivery_round=-1,
@@ -381,15 +431,33 @@ class FederatedSearchServer:
                     start_time_s=self.clock_s,
                     participant_indices=delivered_indices,
                 )
-                new_items = self._pending[-len(delivered_indices):]
                 for item, tau in zip(new_items, delays.taus):
                     item.delivery_round = t + int(tau)
                 round_duration = delays.round_duration_s
+            if self.population is not None:
+                # Streaming aggregation: a fresh (τ=0) update folds into
+                # the round accumulator the moment its delay is known —
+                # the cohort's updates never pile up in the pending
+                # queue, so per-round transients stay O(cohort) however
+                # large the population grows.  Only genuinely delayed
+                # updates stage through ``_pending``.
+                for item in new_items:
+                    if item.delivery_round == t:
+                        self._ingest_arrival(t, accumulator, item)
+                    else:
+                        self._pending.append(item)
+            else:
+                self._pending.extend(new_items)
             mean_size = float(np.mean(sizes))
 
-        num_offline = len(self.participants) - len(online) + num_failed
+        expected = (
+            self._cohort_target
+            if self.population is not None
+            else len(self.participants)
+        )
+        num_offline = expected - len(online) + num_failed
         result = self._apply_arrivals(
-            t, max_latency, mean_size, round_duration, num_offline
+            t, accumulator, max_latency, mean_size, round_duration, num_offline
         )
         self.pools.evict_older_than(t)
         self.clock_s += round_duration
@@ -444,6 +512,44 @@ class FederatedSearchServer:
                 online.append(k)
         return online
 
+    def _sample_cohort(self, t: int) -> List[int]:
+        """Population mode's counterpart of :meth:`_sample_online`.
+
+        Advances churn, draws the cohort (both inside the population
+        manager's private RNG streams — the server RNG is untouched, so
+        population-off runs are bit-identical to before), filters
+        quarantined / fault-flapped members, and materialises the
+        survivors.  There are no per-participant availability draws:
+        churn dropout flaps *are* the availability model at population
+        scale, which keeps server RNG consumption O(cohort) instead of
+        O(population).
+        """
+        cohort = self.population.begin_round(t)
+        self._cohort_target = int(len(cohort))
+        online: List[int] = []
+        for member in cohort:
+            k = int(member)
+            if self.quarantine.is_quarantined(k, t):
+                continue
+            if self.fault_injector is not None and self.fault_injector.force_offline(
+                t, k
+            ):
+                continue
+            online.append(k)
+        self._cohort = self.population.materialize_cohort(online)
+        provision = getattr(self.backend, "provision", None)
+        if provision is not None:
+            # Serial backend: reuse the server-materialised participants
+            # (distributed backends derive specs worker-side instead).
+            provision(list(self._cohort.values()))
+        return online
+
+    def _participant(self, k: int) -> Participant:
+        """This round's live object for participant ``k`` (cohort-aware)."""
+        if self.population is not None:
+            return self._cohort[k]
+        return self.participants[k]
+
     def run(self, rounds: int) -> List[RoundResult]:
         """Convenience loop; returns per-round diagnostics."""
         return [self.run_round() for _ in range(rounds)]
@@ -496,7 +602,7 @@ class FederatedSearchServer:
         online: Sequence[int],
         wire_sizes: Optional[Sequence[float]] = None,
     ) -> Tuple[np.ndarray, float, Optional[np.ndarray]]:
-        traces = [self.participants[k].trace for k in online]
+        traces = [self._participant(k).trace for k in online]
         if any(trace is None for trace in traces):
             return np.arange(len(online)), 0.0, None
         report = round_transmission(
@@ -528,89 +634,28 @@ class FederatedSearchServer:
     def _apply_arrivals(
         self,
         t: int,
+        accumulator: _RoundAccumulator,
         max_latency: float,
         mean_size: float,
         round_duration: float,
         num_offline: int = 0,
     ) -> RoundResult:
+        """Fold the round's matured pending arrivals and close the round.
+
+        The accumulator may already hold this round's fresh updates
+        (population mode streams them in at collection time); the legacy
+        path arrives here with an empty accumulator, so ingesting the
+        matured queue entries in order reproduces the historical
+        arithmetic exactly.
+        """
         arrivals = [p for p in self._pending if p.delivery_round == t]
         self._pending = [p for p in self._pending if p.delivery_round > t]
-
-        estimator = ReinforceEstimator(self.policy)
-        grad_sum: Dict[str, np.ndarray] = {}
-        used_updates: List[ParticipantUpdate] = []
-        rewards: List[float] = []
-        num_fresh = num_stale = num_dropped = num_rejected = 0
-        used = 0
-
-        telemetry = self.telemetry
         for item in arrivals:
-            tau = t - item.origin_round
-            # The trust boundary (validation before anything touches
-            # θ/α): garbage earns a strike even when it arrived stale.
-            reason = (
-                self.validator.validate(item.update)
-                if self.validator is not None
-                else None
-            )
-            if reason is not None:
-                num_rejected += 1
-                outcome = "rejected"
-                self.quarantine.record_rejection(item.update.participant_id, t)
-                if telemetry.enabled:
-                    telemetry.count("updates.rejected")
-                    telemetry.count(f"updates.rejected.{reason}")
-                    telemetry.emit(
-                        "update.rejected",
-                        round=t,
-                        origin_round=item.origin_round,
-                        participant=item.update.participant_id,
-                        staleness=tau,
-                        reason=reason,
-                    )
-                continue
-            if tau == 0:
-                self._accumulate_fresh(item, estimator, grad_sum)
-                rewards.append(item.update.reward)
-                used_updates.append(item.update)
-                num_fresh += 1
-                used += 1
-                outcome = "fresh"
-            elif tau > self.config.staleness_threshold or (
-                self.config.staleness_policy == "throw"
-            ):
-                num_dropped += 1
-                outcome = "dropped"
-            elif not self.pools.has_round(item.origin_round):
-                num_dropped += 1
-                outcome = "dropped"
-            else:
-                self._accumulate_stale(item, tau, estimator, grad_sum)
-                rewards.append(item.update.reward)
-                used_updates.append(item.update)
-                num_stale += 1
-                used += 1
-                outcome = (
-                    "stale_used"
-                    if self.config.staleness_policy == "use"
-                    else "stale_compensated"
-                )
-            if outcome != "dropped":
-                self.quarantine.record_accepted(item.update.participant_id)
-            if telemetry.enabled:
-                telemetry.count(f"updates.{'stale_used' if outcome.startswith('stale') else outcome}")
-                telemetry.observe("update.staleness", tau)
-                telemetry.emit(
-                    "arrival",
-                    round=t,
-                    origin_round=item.origin_round,
-                    participant=item.update.participant_id,
-                    staleness=tau,
-                    outcome=outcome,
-                    reward=item.update.reward,
-                )
+            self._ingest_arrival(t, accumulator, item)
 
-        if arrivals and used == 0:
+        acc = accumulator
+        telemetry = self.telemetry
+        if acc.num_arrivals and acc.used == 0:
             # Every arrival this round was rejected or dropped: skip the
             # θ/α steps entirely (an all-garbage round must not move the
             # model) and flag the round as degraded.
@@ -619,24 +664,31 @@ class FederatedSearchServer:
             telemetry.emit(
                 "round.degraded",
                 round=t,
-                num_arrivals=len(arrivals),
-                num_rejected=num_rejected,
-                num_dropped=num_dropped,
+                num_arrivals=acc.num_arrivals,
+                num_rejected=acc.num_rejected,
+                num_dropped=acc.num_dropped,
             )
-        if used and self.config.update_theta:
-            self._step_theta(grad_sum, used)
-        if used and self.config.aggregate_bn_stats:
-            self._aggregate_buffers(used_updates)
-        if used and self.config.update_alpha:
-            alpha_grad = estimator.gradient()
+        if acc.used and self.config.update_theta:
+            self._step_theta(acc.grad_sum, acc.used)
+        if acc.used and self.config.aggregate_bn_stats:
+            self._apply_buffer_sums(acc.buffer_sums, acc.buffer_counts)
+        if acc.used and self.config.update_alpha:
+            alpha_grad = acc.estimator.gradient()
             if telemetry.enabled:
                 norm = float(np.linalg.norm(alpha_grad))
                 telemetry.observe("alpha.grad_norm", norm)
-                telemetry.emit("alpha_step", round=t, grad_norm=norm, num_updates=used)
+                telemetry.emit(
+                    "alpha_step", round=t, grad_norm=norm, num_updates=acc.used
+                )
             self.alpha_optimizer.step(alpha_grad)
+        rewards = acc.rewards
         if rewards:
             self.baseline.update(rewards)
 
+        num_fresh = acc.num_fresh
+        num_stale = acc.num_stale
+        num_dropped = acc.num_dropped
+        num_rejected = acc.num_rejected
         mean_reward = float(np.mean(rewards)) if rewards else float("nan")
         reward_std = float(np.std(rewards)) if rewards else float("nan")
         self.recorder.record("train_accuracy", mean_reward if rewards else 0.0)
@@ -659,6 +711,104 @@ class FederatedSearchServer:
             num_offline=num_offline,
             num_rejected=num_rejected,
         )
+
+    def _ingest_arrival(
+        self, t: int, acc: _RoundAccumulator, item: _PendingUpdate
+    ) -> None:
+        """Fold one arrived update into the round accumulator.
+
+        This is the per-arrival body of the historical aggregation loop:
+        validation first (the trust boundary — garbage earns a strike
+        even when it arrived stale), then the fresh / stale-compensated
+        / dropped outcome.  Calling it per arrival is what makes the
+        aggregation *streaming*: gradients land in the (arena) gradient
+        buffer and BN sums fold incrementally, in arrival order, so the
+        end-of-round steps only divide and apply.
+        """
+        acc.num_arrivals += 1
+        tau = t - item.origin_round
+        telemetry = self.telemetry
+        reason = (
+            self.validator.validate(item.update)
+            if self.validator is not None
+            else None
+        )
+        if reason is not None:
+            acc.num_rejected += 1
+            self.quarantine.record_rejection(item.update.participant_id, t)
+            if telemetry.enabled:
+                telemetry.count("updates.rejected")
+                telemetry.count(f"updates.rejected.{reason}")
+                telemetry.emit(
+                    "update.rejected",
+                    round=t,
+                    origin_round=item.origin_round,
+                    participant=item.update.participant_id,
+                    staleness=tau,
+                    reason=reason,
+                )
+            return
+        if tau == 0:
+            self._accumulate_fresh(item, acc.estimator, acc.grad_sum)
+            acc.rewards.append(item.update.reward)
+            self._fold_buffers(acc, item.update)
+            acc.num_fresh += 1
+            acc.used += 1
+            outcome = "fresh"
+        elif tau > self.config.staleness_threshold or (
+            self.config.staleness_policy == "throw"
+        ):
+            acc.num_dropped += 1
+            outcome = "dropped"
+        elif not self.pools.has_round(item.origin_round):
+            acc.num_dropped += 1
+            outcome = "dropped"
+        else:
+            self._accumulate_stale(item, tau, acc.estimator, acc.grad_sum)
+            acc.rewards.append(item.update.reward)
+            self._fold_buffers(acc, item.update)
+            acc.num_stale += 1
+            acc.used += 1
+            outcome = (
+                "stale_used"
+                if self.config.staleness_policy == "use"
+                else "stale_compensated"
+            )
+        if outcome != "dropped":
+            self.quarantine.record_accepted(item.update.participant_id)
+        if telemetry.enabled:
+            telemetry.count(
+                f"updates.{'stale_used' if outcome.startswith('stale') else outcome}"
+            )
+            telemetry.observe("update.staleness", tau)
+            telemetry.emit(
+                "arrival",
+                round=t,
+                origin_round=item.origin_round,
+                participant=item.update.participant_id,
+                staleness=tau,
+                outcome=outcome,
+                reward=item.update.reward,
+            )
+
+    def _fold_buffers(self, acc: _RoundAccumulator, update: ParticipantUpdate) -> None:
+        """Accumulate one used update's BN running stats into the round sums.
+
+        Same first-copy-then-add arithmetic (and the same order — used
+        updates, as they are accepted) as the former per-round
+        ``_aggregate_buffers`` loop, so results are bit-identical.
+        """
+        if not self.config.aggregate_bn_stats:
+            return
+        sums = acc.buffer_sums
+        counts = acc.buffer_counts
+        for name, value in update.buffers.items():
+            if name in sums:
+                sums[name] = sums[name] + value
+                counts[name] += 1
+            else:
+                sums[name] = np.array(value, copy=True)
+                counts[name] = 1
 
     def _accumulate_fresh(
         self,
@@ -766,22 +916,15 @@ class FederatedSearchServer:
                 f"op_preference/{name}", float(np.mean(modes == index))
             )
 
-    def _aggregate_buffers(self, updates: Sequence[ParticipantUpdate]) -> None:
-        """Average participants' BN running stats back into the supernet.
+    def _apply_buffer_sums(
+        self, sums: Dict[str, np.ndarray], counts: Dict[str, int]
+    ) -> None:
+        """Average the round's accumulated BN stats back into the supernet.
 
-        Only buffers present in at least one update move; buffers of
+        The sums arrive pre-folded (see :meth:`_fold_buffers`); only
+        buffers present in at least one used update move — buffers of
         never-sampled operations keep their previous values.
         """
-        sums: Dict[str, np.ndarray] = {}
-        counts: Dict[str, int] = {}
-        for update in updates:
-            for name, value in update.buffers.items():
-                if name in sums:
-                    sums[name] = sums[name] + value
-                    counts[name] += 1
-                else:
-                    sums[name] = np.array(value, copy=True)
-                    counts[name] = 1
         owners = self.supernet._named_buffer_owners()
         arena = self.arena
         touched = []

@@ -39,6 +39,7 @@ from .serialize import (
     cow_clone_state,
     model_size_megabytes,
     pack_state,
+    pack_state_via_arena,
     state_num_parameters,
     state_size_bytes,
     state_to_bytes,
@@ -86,6 +87,7 @@ __all__ = [
     "arena_to_bytes",
     "arena_from_bytes",
     "pack_state",
+    "pack_state_via_arena",
     "unpack_state",
     "bytes_to_state",
     "clone_state",

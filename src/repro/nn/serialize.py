@@ -34,6 +34,7 @@ __all__ = [
     "arena_to_bytes",
     "arena_from_bytes",
     "pack_state",
+    "pack_state_via_arena",
     "unpack_state",
     "state_num_parameters",
     "state_size_bytes",
@@ -132,6 +133,64 @@ def pack_state(
         )
         parts.append(header)
         parts.append(array.tobytes())
+    payload = b"".join(parts)
+    if compress:
+        payload = zlib.compress(payload)
+    return payload
+
+
+def pack_state_via_arena(
+    state: Dict[str, np.ndarray],
+    arena: ParameterArena,
+    *,
+    dtype: str = "float32",
+    compress: bool = False,
+) -> bytes:
+    """Arena-accelerated :func:`pack_state`: identical bytes, fewer copies.
+
+    When every entry of ``state`` is a live float64 view into ``arena``
+    (the delta-dispatch case: changed-parameter dicts drawn from
+    ``Supernet.submodel_state`` with the arena attached), the data bytes
+    are gathered straight out of the arena's contiguous buffer as
+    zero-copy memoryview ranges — no per-name ``ascontiguousarray`` /
+    ``tobytes`` round trip.  Per-entry headers interleave with the data
+    in the packed format, so the gather is one range per entry rather
+    than one per :meth:`~repro.nn.arena.ParameterArena.merged_runs` run;
+    the ranges are still raw arena slices, and the resulting blob is
+    byte-for-byte what :func:`pack_state` produces (asserted in tests).
+    Anything that disqualifies the fast path — a non-arena entry, or a
+    narrowing wire dtype, which needs a real conversion — falls back to
+    :func:`pack_state` transparently.
+    """
+    if dtype not in WIRE_DTYPES:
+        raise ValueError(
+            f"dtype must be one of {sorted(WIRE_DTYPES)}, got {dtype!r}"
+        )
+    if arena is None or WIRE_DTYPES[dtype] != np.float64:
+        return pack_state(state, dtype=dtype, compress=compress)
+    for name, value in state.items():
+        if not arena.has(name) or arena.view(name) is not value:
+            return pack_state(state, dtype=dtype, compress=compress)
+    raw = memoryview(arena.data).cast("B")
+    itemsize = arena.data.itemsize
+    parts = []
+    for name, value in state.items():
+        entry = arena.index[name]
+        name_bytes = name.encode("utf-8")
+        dtype_bytes = value.dtype.str.encode("ascii")
+        if len(name_bytes) > 0xFFFF or len(dtype_bytes) > 0xFF or value.ndim > 0xFF:
+            raise ValueError(f"state entry {name!r} does not fit the packed format")
+        parts.append(
+            len(name_bytes).to_bytes(2, "big")
+            + name_bytes
+            + bytes([len(dtype_bytes)])
+            + dtype_bytes
+            + bytes([value.ndim])
+            + b"".join(dim.to_bytes(4, "big") for dim in value.shape)
+        )
+        parts.append(
+            raw[entry.offset * itemsize : (entry.offset + entry.size) * itemsize]
+        )
     payload = b"".join(parts)
     if compress:
         payload = zlib.compress(payload)

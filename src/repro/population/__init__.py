@@ -1,0 +1,50 @@
+"""``repro.population`` — population-scale rounds for cross-device FL.
+
+Decouples the *registered population* (possibly 100k+ devices) from the
+*per-round working set* (a sampled cohort of 10–1000):
+
+* :class:`ParticipantRegistry` — columnar lightweight records; full
+  ``Participant`` objects are materialised lazily, only for sampled
+  cohorts, so server memory stays O(cohort + params).
+* :class:`CohortSampler` (``uniform`` / ``weighted``) — seeded,
+  server-side cohort selection, bit-identical across execution backends.
+* :class:`ChurnPlan` / :class:`ChurnModel` — seeded joins, permanent
+  departures, and temporary dropout flaps evolving the population.
+* :class:`PopulationManager` — the bundle the server drives, with one
+  ``Stateful`` state_dict covering registry + sampler + churn RNG for
+  bit-identical kill/resume.
+"""
+
+from .churn import ChurnModel, ChurnPlan
+from .manager import PopulationManager, build_population
+from .registry import (
+    LIFECYCLE_STATES,
+    ParticipantRecord,
+    ParticipantRegistry,
+    PopulationContext,
+    derive_batch_seed,
+)
+from .sampler import (
+    SAMPLER_STRATEGIES,
+    CohortSampler,
+    UniformCohortSampler,
+    WeightedCohortSampler,
+    build_sampler,
+)
+
+__all__ = [
+    "LIFECYCLE_STATES",
+    "SAMPLER_STRATEGIES",
+    "ChurnModel",
+    "ChurnPlan",
+    "CohortSampler",
+    "ParticipantRecord",
+    "ParticipantRegistry",
+    "PopulationContext",
+    "PopulationManager",
+    "UniformCohortSampler",
+    "WeightedCohortSampler",
+    "build_population",
+    "build_sampler",
+    "derive_batch_seed",
+]

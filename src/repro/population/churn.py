@@ -1,0 +1,182 @@
+"""Seeded churn: joins, permanent departures, temporary dropout flaps.
+
+Real device fleets are never static — devices enroll, disappear for
+good, or flap offline for a few rounds.  :class:`ChurnPlan` describes
+that evolution as a declarative JSON artefact (same shape as
+``repro.faults.FaultPlan``: frozen, validated at construction,
+round-trippable), and :class:`ChurnModel` executes it against the
+registry with a private seeded RNG stream.
+
+The model advances **server-side at round start, before cohort
+sampling**, in a fixed draw order (wake → departures → dropouts →
+joins), so the population trajectory — like the cohort sequence — is
+bit-identical across execution backends and across kill/resume (the
+RNG state is checkpointed through the ``Stateful`` protocol).
+
+Dormant participants are simply not eligible for cohort selection; that
+feeds the same offline/soft-sync accounting as a natural disconnect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from .registry import ParticipantRegistry
+
+__all__ = ["ChurnPlan", "ChurnModel"]
+
+#: Domain separator for the churn RNG stream.
+_CHURN_STREAM = 0xC0821
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnPlan:
+    """How the registered population evolves, as a declarative artefact.
+
+    ``join_rate`` is the expected number of new enrollments per round
+    (Poisson); ``departure_prob`` and ``dropout_prob`` are per-active-
+    participant per-round probabilities of leaving permanently or
+    starting a temporary flap of ``dropout_rounds_min..max`` rounds.
+    The plan applies on rounds in ``[round_start, round_end)``
+    (half-open; ``round_end=None`` means forever).  ``seed`` isolates
+    the churn RNG stream from every other stream in the run.
+    """
+
+    join_rate: float = 0.0
+    departure_prob: float = 0.0
+    dropout_prob: float = 0.0
+    dropout_rounds_min: int = 1
+    dropout_rounds_max: int = 3
+    round_start: int = 0
+    round_end: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.join_rate < 0:
+            raise ValueError(f"join_rate must be >= 0, got {self.join_rate}")
+        for name in ("departure_prob", "dropout_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.dropout_rounds_min < 1:
+            raise ValueError(
+                f"dropout_rounds_min must be >= 1, got {self.dropout_rounds_min}"
+            )
+        if self.dropout_rounds_max < self.dropout_rounds_min:
+            raise ValueError(
+                f"dropout_rounds_max ({self.dropout_rounds_max}) must be >= "
+                f"dropout_rounds_min ({self.dropout_rounds_min})"
+            )
+        if self.round_start < 0:
+            raise ValueError(f"round_start must be >= 0, got {self.round_start}")
+        if self.round_end is not None and self.round_end <= self.round_start:
+            raise ValueError(
+                f"round_end ({self.round_end}) must be > round_start "
+                f"({self.round_start}) or null"
+            )
+
+    def active(self, round_t: int) -> bool:
+        """Whether churn applies on ``round_t`` (half-open window)."""
+        if round_t < self.round_start:
+            return False
+        return self.round_end is None or round_t < self.round_end
+
+    # ------------------------------------------------------------------
+    # JSON round trip (the ``--churn-plan churn.json`` artefact)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ChurnPlan":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"churn plan must be a dict, got {type(data).__name__}"
+            )
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown churn plan key(s): {', '.join(unknown)}; "
+                f"valid keys: {', '.join(sorted(valid))}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChurnPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid churn plan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ChurnPlan":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ValueError(f"cannot read churn plan {path!r}: {exc}") from exc
+        return cls.from_json(text)
+
+
+class ChurnModel:
+    """Executes a :class:`ChurnPlan` against the registry, one round at a time."""
+
+    def __init__(self, plan: ChurnPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng([_CHURN_STREAM, plan.seed])
+
+    def advance(self, registry: ParticipantRegistry, round_t: int) -> Dict[str, int]:
+        """Evolve the population for ``round_t``; returns transition counts.
+
+        Draw order is fixed (wake → departures → dropouts → joins) and
+        every draw is vectorised over the active set, so a 100k-strong
+        registry churns in microseconds and the RNG stream consumption
+        is a pure function of the population trajectory.
+        """
+        stats = {"joined": 0, "departed": 0, "dropped_out": 0, "reactivated": 0}
+        stats["reactivated"] = int(len(registry.wake_due(round_t)))
+        if not self.plan.active(round_t):
+            return stats
+        plan = self.plan
+        active = registry.selectable_ids(round_t)
+        if plan.departure_prob > 0 and len(active):
+            departing = active[self.rng.random(len(active)) < plan.departure_prob]
+            if len(departing):
+                registry.depart(departing)
+                stats["departed"] = int(len(departing))
+                active = np.setdiff1d(active, departing, assume_unique=True)
+        if plan.dropout_prob > 0 and len(active):
+            flapping = active[self.rng.random(len(active)) < plan.dropout_prob]
+            if len(flapping):
+                durations = self.rng.integers(
+                    plan.dropout_rounds_min,
+                    plan.dropout_rounds_max + 1,
+                    size=len(flapping),
+                )
+                registry.set_dormant(flapping, round_t + durations)
+                stats["dropped_out"] = int(len(flapping))
+        if plan.join_rate > 0:
+            joins = int(self.rng.poisson(plan.join_rate))
+            if joins:
+                registry.register(joins, round_t)
+                stats["joined"] = joins
+        return stats
+
+    # Stateful protocol -------------------------------------------------
+    def state_dict(self) -> Mapping[str, object]:
+        return {"rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        self.rng.bit_generator.state = state["rng"]

@@ -1,0 +1,120 @@
+"""Seeded per-round cohort sampling over the participant registry.
+
+Each round the server draws a small cohort (10–1000) from the eligible
+(active) population — the ``c_rate`` client-sampling loop of cross-device
+FL.  Two strategies ship behind one interface:
+
+* ``uniform`` — every eligible participant equally likely;
+* ``weighted`` — selection probability proportional to device compute
+  speed (a production-style bias toward fast devices; a Jetson TX2 is
+  4× less likely than a GTX 1080 Ti to be drawn).
+
+The sampler owns a private seeded RNG stream that only the server
+advances — never the backends — so the cohort sequence is bit-identical
+across serial/process/socket execution by construction.  The RNG state
+is checkpointed through the :class:`repro.core.Stateful` protocol, so a
+killed-and-resumed run draws the exact cohorts an uninterrupted run
+would.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .registry import ParticipantRegistry
+
+__all__ = [
+    "SAMPLER_STRATEGIES",
+    "CohortSampler",
+    "UniformCohortSampler",
+    "WeightedCohortSampler",
+    "build_sampler",
+]
+
+#: Strategies accepted by :func:`build_sampler` and ``cohort_strategy``.
+SAMPLER_STRATEGIES = ("uniform", "weighted")
+
+#: Domain separator for the cohort-sampling RNG stream.
+_COHORT_STREAM = 0xC0407
+
+
+class CohortSampler:
+    """Base sampler: seeded RNG, clamping, and stable cohort ordering."""
+
+    strategy = "uniform"
+
+    def __init__(self, cohort_size: int, seed: int):
+        if cohort_size < 1:
+            raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
+        self.cohort_size = int(cohort_size)
+        self.rng = np.random.default_rng([_COHORT_STREAM, seed])
+
+    def sample(self, registry: ParticipantRegistry, round_t: int) -> np.ndarray:
+        """Draw this round's cohort (sorted ids, without replacement).
+
+        Cohorts are clamped to the eligible population, so a heavily
+        churned registry degrades gracefully instead of failing.  The
+        ids come back sorted: dispatch order must be a function of the
+        *selection set*, not of ``choice``'s internal ordering, for the
+        per-participant seed streams to stay backend-independent.
+        """
+        eligible = registry.selectable_ids(round_t)
+        if len(eligible) == 0:
+            return np.empty(0, dtype=np.int64)
+        size = min(self.cohort_size, len(eligible))
+        return np.sort(self._choose(eligible, size, registry))
+
+    def _choose(
+        self, eligible: np.ndarray, size: int, registry: ParticipantRegistry
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    # Stateful protocol -------------------------------------------------
+    def state_dict(self) -> Mapping[str, object]:
+        return {"strategy": self.strategy, "rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        if state.get("strategy") != self.strategy:
+            raise ValueError(
+                f"checkpoint sampler strategy {state.get('strategy')!r} does "
+                f"not match configured strategy {self.strategy!r}"
+            )
+        self.rng.bit_generator.state = state["rng"]
+
+
+class UniformCohortSampler(CohortSampler):
+    """Every eligible participant equally likely."""
+
+    strategy = "uniform"
+
+    def _choose(
+        self, eligible: np.ndarray, size: int, registry: ParticipantRegistry
+    ) -> np.ndarray:
+        return self.rng.choice(eligible, size=size, replace=False)
+
+
+class WeightedCohortSampler(CohortSampler):
+    """Selection probability proportional to device compute speed."""
+
+    strategy = "weighted"
+
+    def _choose(
+        self, eligible: np.ndarray, size: int, registry: ParticipantRegistry
+    ) -> np.ndarray:
+        weights = registry.context.device_speeds(eligible)
+        return self.rng.choice(
+            eligible, size=size, replace=False, p=weights / weights.sum()
+        )
+
+
+def build_sampler(strategy: str, cohort_size: int, seed: int) -> CohortSampler:
+    """Construct the sampler named by ``strategy``."""
+    if strategy == "uniform":
+        return UniformCohortSampler(cohort_size, seed)
+    if strategy == "weighted":
+        return WeightedCohortSampler(cohort_size, seed)
+    raise ValueError(
+        f"unknown cohort strategy {strategy!r}; choose from {SAMPLER_STRATEGIES}"
+    )

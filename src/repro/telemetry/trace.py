@@ -94,6 +94,8 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
     fault_kinds: Dict[str, int] = collections.Counter()
     breaker_transitions: Dict[str, int] = collections.Counter()
     hedge_totals = {"hedges": 0, "wins": 0, "duplicates": 0}
+    population_rounds: List[Dict] = []
+    churn_totals = {"joined": 0, "departed": 0, "dropped_out": 0, "reactivated": 0}
 
     for event in events:
         name = event.get("event", "?")
@@ -204,6 +206,21 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
                     "cache_hit": float(event.get("cache_hit", 0.0)),
                 }
             )
+        elif name == "population.round":
+            population_rounds.append(
+                {
+                    "round": int(event.get("round", -1)),
+                    "cohort": int(event.get("cohort", 0)),
+                    "strategy": event.get("strategy", "?"),
+                    "registered": int(event.get("registered", 0)),
+                    "active": int(event.get("active", 0)),
+                    "dormant": int(event.get("dormant", 0)),
+                    "departed": int(event.get("departed", 0)),
+                }
+            )
+        elif name == "population.churn":
+            for key in churn_totals:
+                churn_totals[key] += int(event.get(key, 0))
 
     total_phase_wall = sum(p["wall_s"] for p in phases) or 1.0
     for p in phases:
@@ -318,6 +335,24 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
             ),
         }
 
+    population = None
+    if population_rounds:
+        first, last = population_rounds[0], population_rounds[-1]
+        cohorts = [r["cohort"] for r in population_rounds]
+        population = {
+            "rounds": population_rounds,
+            "strategy": last["strategy"],
+            "registered_first": first["registered"],
+            "registered_last": last["registered"],
+            "active_last": last["active"],
+            "dormant_last": last["dormant"],
+            "departed_last": last["departed"],
+            "cohort_mean": sum(cohorts) / len(cohorts),
+            "cohort_min": min(cohorts),
+            "cohort_max": max(cohorts),
+            "churn": dict(churn_totals),
+        }
+
     ops = None
     if op_totals:
         ops = [
@@ -340,6 +375,7 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
         "transport": transport,
         "health": health,
         "dispatch": dispatch,
+        "population": population,
         "critical_path": critical_path,
         "ops": ops,
         "event_counts": dict(sorted(event_counts.items())),
@@ -446,6 +482,53 @@ def render_trace(summary: Dict, top: int = 5, max_round_rows: int = 20) -> str:
             lines.append(f"... ({len(rounds) - len(shown)} more rounds)")
     else:
         lines.append("(no round_end events)")
+
+    population = summary.get("population")
+    if population:
+        lines.append("")
+        lines.append("## Population")
+        churn = population["churn"]
+        lines.append(
+            f"  registered: {population['registered_first']} -> "
+            f"{population['registered_last']}   "
+            f"active: {population['active_last']}   "
+            f"dormant: {population['dormant_last']}   "
+            f"departed: {population['departed_last']}"
+        )
+        lines.append(
+            f"  cohorts ({population['strategy']}): "
+            f"mean {population['cohort_mean']:.1f}, "
+            f"min {population['cohort_min']}, max {population['cohort_max']} "
+            f"over {len(population['rounds'])} rounds"
+        )
+        lines.append(
+            f"  churn totals: joined={churn['joined']}   "
+            f"departed={churn['departed']}   "
+            f"dropped_out={churn['dropped_out']}   "
+            f"reactivated={churn['reactivated']}"
+        )
+        shown = population["rounds"][:max_round_rows]
+        lines.append(
+            markdown_table(
+                ["round", "cohort", "registered", "active", "dormant", "departed"],
+                [
+                    [
+                        r["round"],
+                        r["cohort"],
+                        r["registered"],
+                        r["active"],
+                        r["dormant"],
+                        r["departed"],
+                    ]
+                    for r in shown
+                ],
+                precision=0,
+            )
+        )
+        if len(population["rounds"]) > len(shown):
+            lines.append(
+                f"... ({len(population['rounds']) - len(shown)} more rounds)"
+            )
 
     transport = summary.get("transport")
     if transport:

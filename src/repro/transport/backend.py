@@ -252,6 +252,7 @@ class SocketBackend:
         resilience: Optional[ResilienceConfig] = None,
         network_fault_plan: Optional[NetworkFaultPlan] = None,
         rng_seed: int = 0,
+        population: Optional[object] = None,
     ):
         if task_timeout_s <= 0:
             raise ValueError(f"task_timeout_s must be positive, got {task_timeout_s}")
@@ -273,7 +274,14 @@ class SocketBackend:
             else ParticipantSpec.from_participant(spec)  # type: ignore[arg-type]
             for spec in participants
         ]
-        if not self._specs:
+        #: population-mode context (a ``PopulationContext``): workers
+        #: derive any participant's spec on demand from it, so the init
+        #: payload stays O(dataset + recipe) instead of O(population)
+        self._population = population
+        #: server parameter arena (see bind_arena): packed blobs are
+        #: gathered from its contiguous buffer instead of per-name arrays
+        self._arena = None
+        if not self._specs and population is None:
             raise ValueError("at least one participant required")
         self._supernet_config = supernet_config
         self.task_timeout_s = float(task_timeout_s)
@@ -319,15 +327,30 @@ class SocketBackend:
             ]
         else:
             self._auto_spawn = True
-            self.num_workers = int(num_workers) if num_workers else min(
-                len(self._specs), os.cpu_count() or 2, 4
-            )
+            if num_workers:
+                self.num_workers = int(num_workers)
+            elif self._specs:
+                self.num_workers = min(len(self._specs), os.cpu_count() or 2, 4)
+            else:  # population mode: no upfront specs to count
+                self.num_workers = min(os.cpu_count() or 2, 4)
             if self.num_workers < 1:
                 raise ValueError(
                     f"num_workers must be >= 1, got {self.num_workers}"
                 )
             #: spawned lazily on first run_tasks
             self._endpoints = []
+
+    def bind_arena(self, arena) -> None:
+        """Let packed dispatch gather blobs straight from ``arena``.
+
+        The server calls this once after construction with its
+        :class:`~repro.nn.arena.ParameterArena`.  Dispatch then routes
+        delta-packed payloads through
+        :func:`~repro.nn.serialize.pack_state_via_arena` — byte-identical
+        blobs, assembled from contiguous arena ranges instead of per-name
+        array packing.  A no-op for the unpacked (npz) wire path.
+        """
+        self._arena = arena
 
     # ------------------------------------------------------------------
     # Connection management
@@ -409,7 +432,11 @@ class SocketBackend:
             hello_ack = codec.decode_json(payload)
             msg_type, payload = conn.request(
                 MSG_INIT,
-                codec.encode_init(self._specs, self._supernet_config),
+                codec.encode_init(
+                    self._specs,
+                    self._supernet_config,
+                    population=self._population,
+                ),
                 timeout=max(self.connect_timeout_s, self.task_timeout_s),
             )
             if msg_type != MSG_ACK:
@@ -612,6 +639,7 @@ class SocketBackend:
                 compression=self.compression,
                 wire_dtype=self.wire_dtype,
                 packed=packed,
+                arena=self._arena if packed else None,
             )
             start = time.perf_counter()
             dispatch_ts = self.telemetry.now()

@@ -43,6 +43,7 @@ from repro.nn.serialize import (
     WIRE_DTYPES,
     bytes_to_state,
     pack_state,
+    pack_state_via_arena,
     state_to_bytes,
     unpack_state,
 )
@@ -164,26 +165,35 @@ def decode_error_info(payload: bytes) -> Dict:
 # Registration payload (specs + geometry; pickle, trusted peers only)
 # ----------------------------------------------------------------------
 def encode_init(
-    specs: Sequence[ParticipantSpec], supernet_config: SupernetConfig
+    specs: Sequence[ParticipantSpec],
+    supernet_config: SupernetConfig,
+    population: object = None,
 ) -> bytes:
-    return pickle.dumps(
-        {"specs": list(specs), "supernet_config": supernet_config},
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
+    """Registration payload: specs + geometry, plus (population mode) the
+    :class:`~repro.population.PopulationContext` workers derive on-demand
+    specs from.  The ``population`` key is omitted when absent, so
+    population-off init payloads keep the historical bytes."""
+    obj = {"specs": list(specs), "supernet_config": supernet_config}
+    if population is not None:
+        obj["population"] = population
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def decode_init(payload: bytes) -> Tuple[List[ParticipantSpec], SupernetConfig]:
+def decode_init(
+    payload: bytes,
+) -> Tuple[List[ParticipantSpec], SupernetConfig, object]:
     try:
         obj = pickle.loads(payload)
         specs = list(obj["specs"])
         config = obj["supernet_config"]
+        population = obj.get("population")
     except Exception as exc:  # truncated/corrupt pickle, wrong shape
         raise ProtocolError(f"malformed init payload: {exc}") from exc
     if not all(isinstance(s, ParticipantSpec) for s in specs) or not isinstance(
         config, SupernetConfig
     ):
         raise ProtocolError("init payload carries unexpected object types")
-    return specs, config
+    return specs, config, population
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +206,7 @@ def _pack_tensor_payload(
     compression: str,
     wire_dtype: str,
     packed: bool = False,
+    arena=None,
 ) -> bytes:
     if compression not in COMPRESSIONS:
         raise ValueError(
@@ -204,8 +215,16 @@ def _pack_tensor_payload(
     meta = dict(meta)
     meta["wire_dtype"] = wire_dtype
     meta_bytes = encode_json(meta)
-    serialize = pack_state if packed else state_to_bytes
-    blob = serialize(arrays, dtype=wire_dtype, compress=(compression == "zlib"))
+    compress = compression == "zlib"
+    if packed and arena is not None:
+        # Arena slice gather: byte-identical to pack_state, fewer copies.
+        blob = pack_state_via_arena(
+            arrays, arena, dtype=wire_dtype, compress=compress
+        )
+    elif packed:
+        blob = pack_state(arrays, dtype=wire_dtype, compress=compress)
+    else:
+        blob = state_to_bytes(arrays, dtype=wire_dtype, compress=compress)
     flags = _FLAG_ZLIB if compression == "zlib" else 0
     if packed:
         flags |= _FLAG_PACKED
@@ -256,13 +275,17 @@ def encode_task(
     compression: str = "none",
     wire_dtype: str = "float64",
     packed: bool = False,
+    arena=None,
 ) -> bytes:
     """A :class:`LocalStepTask` as a tensor payload (``seq`` matches the
     reply to the request on a pipelined connection).
 
     ``packed=True`` ships the state blob in the compact
     :func:`~repro.nn.serialize.pack_state` format — only for receivers
-    that advertised the ``delta`` hello capability."""
+    that advertised the ``delta`` hello capability.  ``arena`` (optional,
+    packed mode only) lets the blob be gathered straight from the
+    server's :class:`~repro.nn.arena.ParameterArena` buffer — identical
+    bytes, without per-name array packing."""
     meta = {
         "seq": seq,
         "participant_id": task.participant_id,
@@ -292,6 +315,7 @@ def encode_task(
         compression=compression,
         wire_dtype=wire_dtype,
         packed=packed,
+        arena=arena,
     )
 
 

@@ -56,6 +56,10 @@ __all__ = ["WorkerServer", "serve", "READY_PREFIX"]
 #: spawners parse it to learn the OS-assigned port (``--port 0``).
 READY_PREFIX = "REPRO-WORKER-READY"
 
+#: Population mode: max derived specs kept resident (FIFO eviction) —
+#: bounds worker memory no matter how large the registered population.
+_SPEC_CACHE_LIMIT = 1024
+
 
 class WorkerServer:
     """One participant worker: a listening socket plus its task state.
@@ -109,6 +113,9 @@ class WorkerServer:
         self.host, self.port = self._listener.getsockname()[:2]
         self._specs: Dict[int, ParticipantSpec] = {}
         self._supernet_config: Optional[SupernetConfig] = None
+        #: population-mode context (set by MSG_INIT): unknown participant
+        #: ids get their spec derived on demand instead of failing
+        self._population = None
         self._compression = "none"
         self._wire_dtype = "float64"
         #: delta-dispatch parameter cache (name → (version, array)).  It
@@ -212,12 +219,13 @@ class WorkerServer:
             return True
         if msg_type == MSG_INIT:
             try:
-                specs, supernet_config = codec.decode_init(payload)
+                specs, supernet_config, population = codec.decode_init(payload)
             except ProtocolError as exc:
                 conn.send_frame(MSG_ERROR, codec.encode_error(-1, str(exc)))
                 return False
             self._specs = {spec.participant_id: spec for spec in specs}
             self._supernet_config = supernet_config
+            self._population = population
             # A registration starts a new server timeline: versions from
             # the previous one must never satisfy a delta reference.
             self._param_cache.clear()
@@ -237,6 +245,23 @@ class WorkerServer:
             return False
         # Unexpected-but-valid type (e.g. a stray ack): ignore it.
         return True
+
+    def _spec_for(self, participant_id: int) -> Optional[ParticipantSpec]:
+        """Registered spec, or a population-derived one (FIFO-cached).
+
+        In population mode any cohort member can land here, so the spec
+        (shard included) is derived from the :class:`PopulationContext`
+        shipped at init; the cache bound keeps worker memory O(cache),
+        not O(participants ever seen).
+        """
+        spec = self._specs.get(participant_id)
+        if spec is not None or self._population is None:
+            return spec
+        spec = self._population.spec(participant_id)
+        if len(self._specs) >= _SPEC_CACHE_LIMIT:
+            self._specs.pop(next(iter(self._specs)))
+        self._specs[participant_id] = spec
+        return spec
 
     def _handle_task(self, conn: FrameConnection, payload: bytes) -> None:
         seq = -1
@@ -269,7 +294,7 @@ class WorkerServer:
                         ),
                     )
                     return
-            spec = self._specs.get(task.participant_id)
+            spec = self._spec_for(task.participant_id)
             if spec is None or self._supernet_config is None:
                 raise RuntimeError(
                     f"worker holds no spec for participant {task.participant_id} "

@@ -273,9 +273,12 @@ class TestMessageCodecs:
         specs = [
             ParticipantSpec.from_participant(p) for p in build_participants()
         ]
-        decoded_specs, config = codec.decode_init(codec.encode_init(specs, TINY))
+        decoded_specs, config, population = codec.decode_init(
+            codec.encode_init(specs, TINY)
+        )
         assert [s.participant_id for s in decoded_specs] == [0, 1, 2]
         assert config == TINY
+        assert population is None
         with pytest.raises(ProtocolError):
             codec.decode_init(b"not a pickle")
         import pickle
