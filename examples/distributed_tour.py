@@ -177,6 +177,113 @@ def main() -> None:
         proc.wait(timeout=10)
     print("daemons stopped.")
 
+    tape_demo()
+
+
+def tape_demo() -> None:
+    """Compiled compute engine: tape + fusion, with per-op replay timings.
+
+    The tape pays off when masks repeat — the late-search steady state —
+    so this demo sharpens the controller onto one operation first: every
+    round after the first then replays the same captured graph.  The run
+    is traced, so afterwards the trace summary carries the tape counters
+    and a per-op replay profile (the same numbers ``python -m repro
+    trace run.jsonl`` renders).
+    """
+    import types
+
+    import numpy as np
+
+    from repro.controller import ArchitecturePolicy
+    from repro.data import iid_partition, synth_cifar10
+    from repro.federated import FederatedSearchServer, Participant, SerialBackend
+    from repro.federated import compiled
+    from repro.nn import tape
+    from repro.search_space import Supernet, SupernetConfig
+    from repro.telemetry import build_telemetry
+
+    print("\ncompiled compute engine (tape + fusion) demo:")
+    net = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+    log_path = Path(tempfile.mkdtemp(prefix="repro-tape-")) / "tape.jsonl"
+    telemetry = build_telemetry(types.SimpleNamespace(
+        telemetry_enabled=True,
+        telemetry_log_path=str(log_path),
+        tracing_enabled=True,
+        trace_ops=True,
+        telemetry_buffer_size=65536,
+    ))
+
+    def converged_server(with_telemetry):
+        rng = np.random.default_rng(0)
+        train, _ = synth_cifar10(
+            seed=1, train_per_class=20, test_per_class=2, image_size=8
+        )
+        shards = iid_partition(train, 4, rng=np.random.default_rng(0))
+        parts = [
+            Participant(k, s, batch_size=16, rng=np.random.default_rng(100 + k))
+            for k, s in enumerate(shards)
+        ]
+        tel = telemetry if with_telemetry else None
+        backend = SerialBackend(parts, net, telemetry=tel)
+        server = FederatedSearchServer(
+            Supernet(net, rng=rng),
+            ArchitecturePolicy(net.num_edges, rng=rng),
+            parts,
+            rng=rng,
+            backend=backend,
+            telemetry=tel,
+        )
+        # Late-search stand-in: one op dominates, so masks repeat.
+        server.policy.alpha[:] = 0.0
+        server.policy.alpha[..., 2] = 25.0
+        return server
+
+    rounds = 3
+    compiled.reset_cache()
+    try:
+        tape.configure(enabled=False)
+        eager = converged_server(with_telemetry=False)
+        eager.run(1)  # warm numpy / page caches
+        start = time.perf_counter()
+        eager.run(rounds)
+        eager_s = (time.perf_counter() - start) / rounds
+        eager.backend.close()
+
+        tape.configure(enabled=True, compute_dtype="float64", fusion=True)
+        taped = converged_server(with_telemetry=True)
+        taped.run(1)  # capture round
+        start = time.perf_counter()
+        taped.run(rounds)
+        tape_s = (time.perf_counter() - start) / rounds
+        taped.backend.close()
+    finally:
+        tape.configure(enabled=False, compute_dtype="float64", fusion=False)
+        telemetry.close()
+
+    print(f"  eager:         {eager_s * 1e3:8.1f} ms/round")
+    print(f"  tape + fusion: {tape_s * 1e3:8.1f} ms/round "
+          f"({eager_s / tape_s:.2f}x)")
+
+    summary = summarize_trace(load_events(log_path))
+    tape_stats = summary.get("tape") or {}
+    if tape_stats:
+        print(
+            f"  captures: {tape_stats['captured']}  replays: "
+            f"{tape_stats['replayed']}  fallbacks: {tape_stats['fallbacks']}"
+            f"  hit-rate: {tape_stats['hit_rate']:.1%}"
+        )
+    replay_ops = [
+        o for o in summary.get("ops") or [] if str(o["op"]).startswith("tape:")
+    ]
+    if replay_ops:
+        print("  per-op replay time (top 5):")
+        for op in replay_ops[:5]:
+            mean_us = 1e6 * op["total_s"] / max(op["count"], 1)
+            print(
+                f"    {op['op'][len('tape:'):]:<22} {op['count']:>5} calls  "
+                f"{op['total_s'] * 1e3:7.1f} ms total  {mean_us:7.1f} us/call"
+            )
+
 
 if __name__ == "__main__":
     main()

@@ -163,6 +163,25 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPars
         "checkpoint into arena mode)",
     )
     parser.add_argument(
+        "--tape", action="store_true",
+        help="compiled compute engine: capture each (mask, shape) "
+        "forward once and replay it with preallocated buffers "
+        "(default: $REPRO_TAPE; float64 results are bit-identical "
+        "either way)",
+    )
+    parser.add_argument(
+        "--compute-dtype", choices=("float64", "float32"), default=None,
+        help="replay dtype for --tape: float64 (reference, "
+        "bit-identical) or float32 (opt-in, tolerance-verified; "
+        "default: $REPRO_COMPUTE_DTYPE or float64)",
+    )
+    parser.add_argument(
+        "--tape-fusion", action="store_true",
+        help="fused conv-BN-ReLU tape primitive for --tape (analytic "
+        "fused backward; tolerance-equal to the unfused composition; "
+        "default: $REPRO_TAPE_FUSION)",
+    )
+    parser.add_argument(
         "--measure-wire", action="store_true",
         help="measure exact on-wire payload sizes each round and report "
         "them through telemetry (alongside the analytic Fig. 7 estimate)",
@@ -379,6 +398,12 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["delta_dispatch"] = True
     if getattr(args, "param_arena", False):
         overrides["param_arena"] = True
+    if getattr(args, "tape", False):
+        overrides["tape_compile"] = True
+    if getattr(args, "compute_dtype", None) is not None:
+        overrides["compute_dtype"] = args.compute_dtype
+    if getattr(args, "tape_fusion", False):
+        overrides["tape_fusion"] = True
     if getattr(args, "measure_wire", False):
         overrides["measure_wire_bytes"] = True
     if getattr(args, "telemetry_log", None):
@@ -426,14 +451,21 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 def run_main(args: argparse.Namespace) -> int:
     resume_from = getattr(args, "resume", None)
     if resume_from:
-        # Result-neutral layout switch: a dict-mode checkpoint may be
-        # resumed straight into arena mode (and vice versa via the
-        # embedded config); all other flags are ignored on resume.
-        overrides = (
-            {"param_arena": True}
-            if getattr(args, "param_arena", False)
-            else None
-        )
+        # Result-neutral switches: a dict-mode checkpoint may be resumed
+        # straight into arena mode, and the compiled engine may be
+        # toggled on resume (tape caches are derived state — never
+        # checkpointed, rebuilt on first use); all other flags are
+        # ignored on resume.
+        overrides = {}
+        if getattr(args, "param_arena", False):
+            overrides["param_arena"] = True
+        if getattr(args, "tape", False):
+            overrides["tape_compile"] = True
+        if getattr(args, "compute_dtype", None) is not None:
+            overrides["compute_dtype"] = args.compute_dtype
+        if getattr(args, "tape_fusion", False):
+            overrides["tape_fusion"] = True
+        overrides = overrides or None
         try:
             pipeline = FederatedModelSearch.resume(
                 resume_from, config_overrides=overrides

@@ -71,6 +71,30 @@ def _default_param_arena() -> bool:
     )
 
 
+def _default_tape_compile() -> bool:
+    """Compiled-engine default: ``$REPRO_TAPE`` when set.
+
+    Same contract as :func:`_default_param_arena` — the environment hook
+    flips a whole test/CI run onto the capture/replay engine without
+    touching call sites; an explicit ``tape_compile=`` argument wins.
+    """
+    return os.environ.get("REPRO_TAPE", "").lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
+def _default_compute_dtype() -> str:
+    """Replay-dtype default: ``$REPRO_COMPUTE_DTYPE`` when set."""
+    return os.environ.get("REPRO_COMPUTE_DTYPE", "") or "float64"
+
+
+def _default_tape_fusion() -> bool:
+    """Fused conv→BN→ReLU default: ``$REPRO_TAPE_FUSION`` when set."""
+    return os.environ.get("REPRO_TAPE_FUSION", "").lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
 def _default_network_faults() -> Optional[str]:
     """Network-chaos default: ``$REPRO_NETWORK_FAULTS`` when set.
 
@@ -258,6 +282,19 @@ class ExperimentConfig:
     #: range operations, and ``state_dict()`` serves read-only views.
     #: Seeded results are bit-identical with this on or off.
     param_arena: bool = dataclasses.field(default_factory=_default_param_arena)
+    #: compiled compute engine (:mod:`repro.nn.tape`): workers capture
+    #: the forward once per (mask, input shape, dtype) key and replay it
+    #: with preallocated buffers.  Float64 replay is bit-identical to
+    #: eager, so seeded results are unchanged with this on or off.
+    tape_compile: bool = dataclasses.field(default_factory=_default_tape_compile)
+    #: replay dtype for the compiled engine: "float64" (reference,
+    #: bit-identical) or "float32" (opt-in, tolerance-verified, ~2x).
+    #: Requires ``tape_compile``.
+    compute_dtype: str = dataclasses.field(default_factory=_default_compute_dtype)
+    #: fused conv→BN→ReLU tape primitive (analytic fused backward);
+    #: tolerance-equal, not bit-equal, to the unfused composition.
+    #: Requires ``tape_compile``.
+    tape_fusion: bool = dataclasses.field(default_factory=_default_tape_fusion)
 
     # Socket-backend wire options (ignored by other backends).
     #: worker daemon addresses ("host:port"); None auto-spawns
@@ -422,6 +459,18 @@ class ExperimentConfig:
             )
         if self.num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+        if self.compute_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"compute_dtype must be 'float64' or 'float32', "
+                f"got {self.compute_dtype!r}"
+            )
+        if self.compute_dtype == "float32" and not self.tape_compile:
+            raise ValueError(
+                "compute_dtype='float32' requires tape_compile=True "
+                "(the eager path is the float64 reference)"
+            )
+        if self.tape_fusion and not self.tape_compile:
+            raise ValueError("tape_fusion requires tape_compile=True")
         if self.task_timeout_s <= 0:
             raise ValueError(
                 f"task_timeout_s must be positive, got {self.task_timeout_s}"

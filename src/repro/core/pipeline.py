@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+import repro.nn as nn
 from repro.checkpoint import (
     read_checkpoint_meta,
     restore_search_state,
@@ -96,6 +97,15 @@ class FederatedModelSearch:
     ):
         self.config = config
         self.telemetry = telemetry or build_telemetry(config)
+        # Compiled compute engine: configure before any worker backends
+        # spawn so forked/spawned processes inherit the settings via the
+        # mirrored environment variables.  Float64 replay is
+        # bit-identical to eager, so this never changes seeded results.
+        nn.tape.configure(
+            enabled=config.tape_compile,
+            compute_dtype=config.compute_dtype,
+            fusion=config.tape_fusion,
+        )
         self.rng = np.random.default_rng(config.seed)
         self.train_set, self.test_set = self._build_dataset()
         #: population-scale mode (``config.population > 0``): no eager

@@ -1,0 +1,275 @@
+"""Compiled local steps: per-mask tape capture & replay for workers.
+
+Eager :func:`~repro.federated.participant.run_local_step` pays two big
+Python costs every step: it *builds* a fresh sub-model (module tree +
+parameter copies) and it *re-derives* the autograd graph node by node.
+Both are pure overhead — the computation for a given (mask, input
+shape, dtype) is identical every time.  This module removes both:
+
+* **One model per process.**  A single full :class:`Supernet` is built
+  once per (supernet config, compute dtype) and reused for every task;
+  ``apply_state(task.state)`` writes the shipped weights in place.
+  Masked full-supernet execution runs exactly the chosen operation per
+  edge (:meth:`MixedEdge.forward` dispatches by global op index), so it
+  computes the same floats as the pruned sub-model would.  In float64
+  mode the model is backed by a flat :class:`~repro.nn.ParameterArena`,
+  so parameter gradient buffers alias contiguous windows of one array.
+* **One graph per key.**  The first step for a (mask, input shape,
+  fusion) key runs eagerly under :func:`repro.nn.tape.capturing` and
+  retains the graph as a :class:`~repro.nn.tape.CompiledStep`; later
+  steps replay it — forward into the retained activations, backward
+  into preallocated gradient buffers — with zero graph construction.
+
+Equality contract: in float64 (the default) a compiled step returns a
+:class:`ParticipantUpdate` **bit-identical** to the eager one — same
+gradient bytes, same buffers, same reward, same simulated compute time.
+Float32 mode (opt-in) trades that for speed and is tolerance-verified.
+
+Everything here is *derived state*: caches live per worker process,
+are never serialized or checkpointed, and are rebuilt on first use
+after a resume or a worker restart.  Keys that cannot be captured
+(:class:`~repro.nn.tape.TapeUnsupported`, e.g. active dropout) are
+remembered and permanently fall back to the eager path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+import repro.nn as nn
+from repro.data import ArrayDataset, Compose, DataLoader
+from repro.evaluation import batch_accuracy
+from repro.nn import tape
+from repro.nn.tape import CompiledStep, TapeUnsupported
+from repro.search_space import Supernet, SupernetConfig
+from repro.telemetry.tracing import SpanRecorder, null_span
+
+from .participant import (
+    GTX_1080TI,
+    DeviceProfile,
+    LocalStepTask,
+    ParticipantUpdate,
+)
+
+__all__ = ["run_compiled_step", "reset_cache"]
+
+#: Retained tapes per model (LRU).  Each entry holds one graph's worth of
+#: activation + gradient buffers; the searcher revisits few (mask, shape)
+#: keys per participant, so a small cache captures the working set.
+_MAX_STEPS = 64
+
+
+class _CompiledModel:
+    """Per-process reusable supernet plus its tape caches."""
+
+    __slots__ = (
+        "model",
+        "arena",
+        "named",
+        "named_buffers",
+        "targets",
+        "param_sizes",
+        "steps",
+        "uncapturable",
+        "mask_params",
+    )
+
+    def __init__(self, config: SupernetConfig, dtype: np.dtype):
+        model = Supernet(config, rng=np.random.default_rng(0))
+        arena = None
+        if dtype == np.float64:
+            # Flat arena: parameter data and gradient buffers become
+            # views over two contiguous float64 buffers.
+            arena = nn.ParameterArena.from_module(model)
+        else:
+            # The arena is float64-only; float32 mode instead casts the
+            # master copies down once (task state re-casts on apply).
+            for _, param in model.named_parameters():
+                param.data = param.data.astype(dtype)
+            for module in model.modules():
+                for local in list(module._buffers):
+                    module._set_buffer(local, module._buffers[local].astype(dtype))
+        self.model = model
+        self.arena = arena
+        self.named: List[Tuple[str, nn.Parameter]] = list(model.named_parameters())
+        #: (name, array) pairs for every buffer, in ``named_buffers``
+        #: order.  All writes are in place (``apply_state`` contract, BN
+        #: running-stat updates), so the array objects are stable and
+        #: the module tree never needs re-walking per step.
+        self.named_buffers: List[Tuple[str, np.ndarray]] = [
+            (name, module._buffers[local])
+            for name, (module, local) in model._named_buffer_owners().items()
+        ]
+        #: name -> in-place write target for ``task.state`` application.
+        self.targets: Dict[str, np.ndarray] = {
+            name: param.data for name, param in self.named
+        }
+        self.targets.update(self.named_buffers)
+        self.param_sizes: Dict[str, int] = {
+            name: param.data.size for name, param in self.named
+        }
+        # The model is train-mode for its whole life: local steps are
+        # the only consumers, and flipping the flag per step would walk
+        # the module tree.
+        model.train()
+        self.steps: "OrderedDict[Tuple, CompiledStep]" = OrderedDict()
+        self.uncapturable: Set[Tuple] = set()
+        #: mask key -> sub-model trainable parameter count (drives the
+        #: simulated compute time; must match ``submodel.num_parameters()``).
+        self.mask_params: Dict[Tuple, int] = {}
+
+
+_MODELS: Dict[Tuple, _CompiledModel] = {}
+
+
+def reset_cache() -> None:
+    """Drop every per-process compiled model and tape (tests)."""
+    _MODELS.clear()
+
+
+def _model_for(config: SupernetConfig, dtype: np.dtype) -> _CompiledModel:
+    key = (config, dtype.str)
+    cached = _MODELS.get(key)
+    if cached is None:
+        cached = _CompiledModel(config, dtype)
+        _MODELS[key] = cached
+    return cached
+
+
+def run_compiled_step(
+    task: LocalStepTask,
+    dataset: ArrayDataset,
+    batch_size: int,
+    supernet_config: SupernetConfig,
+    transform: Optional[Compose] = None,
+    device: DeviceProfile = GTX_1080TI,
+    recorder: Optional[SpanRecorder] = None,
+) -> Optional[ParticipantUpdate]:
+    """Run one :class:`LocalStepTask` through the compiled engine.
+
+    Returns ``None`` when the step's key is uncapturable — the caller
+    (:func:`~repro.federated.participant.run_local_step`) then runs the
+    eager path, which is always correct.
+    """
+    dtype = tape.compute_dtype()
+    fusion = tape.fusion_enabled()
+    span = recorder.span if recorder is not None else null_span
+    stats = tape.stats()
+    cm = _model_for(supernet_config, dtype)
+
+    with span("build"):
+        # Equivalent to ``cm.model.apply_state(task.state)`` without the
+        # per-step module-tree walk: every target array is stable and
+        # written in place.
+        targets = cm.targets
+        for name, value in task.state.items():
+            targets[name][...] = value
+        loader = DataLoader(
+            dataset,
+            batch_size=min(batch_size, len(dataset)),
+            transform=transform,
+            rng=np.random.default_rng(task.batch_seed),
+        )
+        x, y = loader.sample_batch()
+
+    mask_key = (task.mask.normal, task.mask.reduce)
+    x_arr = np.asarray(x, dtype=dtype)
+    key = (mask_key, x_arr.shape, fusion)
+    if key in cm.uncapturable:
+        stats.fallbacks += 1
+        if recorder is not None:
+            recorder.meta["tape"] = {"fallback": 1}
+        return None
+
+    step = cm.steps.get(key)
+    try:
+        if step is None:
+            # Capture: run eagerly with recording on.  The capture step's
+            # own update is already bit-identical to eager — the tape only
+            # observes.
+            x_t = nn.Tensor(x_arr)
+            entries: List = []
+            with span("forward"):
+                try:
+                    with tape.capturing(entries):
+                        logits = cm.model(x_t, task.mask)
+                except TapeUnsupported:
+                    cm.uncapturable.add(key)
+                    stats.fallbacks += 1
+                    if recorder is not None:
+                        recorder.meta["tape"] = {"fallback": 1}
+                    return None
+                loss = nn.functional.cross_entropy(logits, y)
+            named_ids = {id(param): (name, param) for name, param in cm.named}
+            grad_view = cm.arena.grad_view if cm.arena is not None else None
+            step = CompiledStep(
+                x_t, logits, entries, named_params=named_ids, grad_view=grad_view
+            )
+            cm.steps[key] = step
+            while len(cm.steps) > _MAX_STEPS:
+                cm.steps.popitem(last=False)
+            stats.captures += 1
+            with span("backward"):
+                loss.backward()
+            replayed = False
+        else:
+            cm.steps.move_to_end(key)
+            profile = None
+            if recorder is not None and recorder.profiler is not None:
+                profile = recorder.profiler.stats
+            with span("forward"):
+                logits = step.replay_forward(x_arr, profile=profile)
+                loss = nn.functional.cross_entropy(logits, y)
+            with span("backward"):
+                step.replay_backward(loss)
+            stats.replays += 1
+            replayed = True
+
+        with span("pack"):
+            state = task.state
+            gradients: Dict[str, np.ndarray] = {}
+            # A step only ever populates its own parameter leaves (a
+            # strict subset of the full supernet), so packing walks
+            # exactly those.
+            for name, param in step.param_leaves:
+                if name in state and param.grad is not None:
+                    grad = param.grad
+                    if grad.dtype != np.float64:
+                        gradients[name] = grad.astype(np.float64)
+                    else:
+                        gradients[name] = grad.copy()
+            buffers: Dict[str, np.ndarray] = {}
+            for name, value in cm.named_buffers:
+                if name in state:
+                    buffers[name] = np.array(value, dtype=np.float64, copy=True)
+            reward = batch_accuracy(logits, y)
+    finally:
+        if step is not None:
+            for _, param in step.param_leaves:
+                param.grad = None
+
+    num_params = cm.mask_params.get(mask_key)
+    if num_params is None:
+        num_params = sum(
+            cm.param_sizes[name] for name in state if name in cm.param_sizes
+        )
+        cm.mask_params[mask_key] = num_params
+    compute_time = device.train_time(num_params, len(y))
+
+    if recorder is not None:
+        recorder.meta["tape"] = {
+            "captured": int(not replayed),
+            "replayed": int(replayed),
+            "cached_steps": len(cm.steps),
+        }
+    return ParticipantUpdate(
+        participant_id=task.participant_id,
+        gradients=gradients,
+        reward=reward,
+        num_samples=len(y),
+        compute_time_s=compute_time,
+        buffers=buffers,
+    )

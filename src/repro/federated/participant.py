@@ -193,7 +193,27 @@ def run_local_step(
     any process, under any scheduling order.  When a ``recorder`` is
     given the phases are bracketed with worker-side spans ("build",
     "forward", "backward", "pack") — timing only, never numerics.
+
+    When the compiled compute engine is on (:func:`repro.nn.tape.enabled`)
+    the step is served by :func:`repro.federated.compiled.run_compiled_step`
+    — bit-identical in float64, tolerance-equal in float32 — with this
+    eager path as the universal fallback.
     """
+    if nn.tape.enabled():
+        from .compiled import run_compiled_step
+
+        update = run_compiled_step(
+            task,
+            dataset,
+            batch_size,
+            supernet_config,
+            transform=transform,
+            device=device,
+            recorder=recorder,
+        )
+        if update is not None:
+            return update
+        # Uncapturable key: fall through to the eager path below.
     span = recorder.span if recorder is not None else null_span
     with span("build"):
         submodel = Supernet(

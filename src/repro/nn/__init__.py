@@ -7,6 +7,7 @@ serialization with wire-size accounting.
 """
 
 from . import functional
+from . import tape
 from .arena import ArenaEntry, ArenaStateView, ParameterArena
 from .init import kaiming_normal, kaiming_uniform, xavier_uniform
 from .modules import (
@@ -49,6 +50,7 @@ from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, st
 
 __all__ = [
     "functional",
+    "tape",
     "Tensor",
     "as_tensor",
     "concatenate",

@@ -15,10 +15,13 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from . import tensor as _ag
+from .tape import TapeUnsupported
 from .tensor import Tensor, _unbroadcast, as_tensor, is_grad_enabled
 
 __all__ = [
     "conv2d",
+    "conv_bn_relu",
     "max_pool2d",
     "avg_pool2d",
     "linear",
@@ -52,22 +55,81 @@ def _conv_output_size(size: int, kernel: int, stride: int, pad: int, dilation: i
     return out
 
 
-#: cached ``np.einsum_path`` contraction orders, keyed by
-#: ``(equation, lhs.shape, rhs.shape)``.  ``optimize=True`` re-plans the
-#: contraction on *every* call; the supernet calls conv2d with a handful
-#: of distinct shapes thousands of times per search, so the plan is
-#: computed once per shape and replayed.
-_EINSUM_PATHS: dict = {}
+#: cached contraction executors, keyed by ``(equation, lhs.shape,
+#: rhs.shape)``.  ``np.einsum(..., optimize=path)`` re-parses the path on
+#: *every* call — at this repo's tensor sizes that parse dwarfs the
+#: contraction itself.  The supernet calls conv2d with a handful of
+#: distinct shapes thousands of times per search, so the contraction is
+#: planned once per shape and the resolved executor is replayed.
+_EINSUM_EXEC: dict = {}
+
+try:  # numpy >= 2.x executes optimized pairwise einsums via bmm_einsum
+    from numpy._core.einsumfunc import bmm_einsum as _bmm_einsum
+except ImportError:  # pragma: no cover - older numpy
+    _bmm_einsum = None
+
+
+#: fast executors per equation: a direct (batched) ``matmul``
+#: formulation of the contraction.  These are exact contractions (same
+#: sum, possibly different floating-point reduction order than
+#: ``np.einsum``'s plan) and unconditionally deterministic — every
+#: process, eager or replayed, runs the identical executor for a given
+#: equation, which is what the bit-identity contract needs.
+_EINSUM_FAST = {
+    # conv2d forward: (G,OC/G,K) x (N,G,K,P) -> (N,G,OC/G,P)
+    "gok,ngkp->ngop": lambda a, b: np.matmul(a, b),
+    # conv2d dX: (G,OC/G,K) x (N,G,OC/G,P) -> (N,G,K,P)
+    "gok,ngop->ngkp": lambda a, b: np.matmul(a.transpose(0, 2, 1), b),
+    # conv2d dW: (N,G,OC/G,P) x (N,G,K,P) -> (G,OC/G,K); batched GEMM
+    # over (N,G), then reduce the batch axis.
+    "ngop,ngkp->gok": lambda a, b: np.matmul(
+        a, b.transpose(0, 1, 3, 2)
+    ).sum(axis=0),
+    # linear layers
+    "ij,jk->ik": lambda a, b: np.matmul(a, b),
+}
 
 
 def _einsum2(equation: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """``np.einsum`` over two operands with a cached contraction path."""
+    """``np.einsum`` over two operands with a cached executor.
+
+    Known equations (the conv/linear hot path) run a direct ``matmul``
+    formulation; anything else pre-resolves ``np.einsum``'s optimized
+    contraction once per (equation, shapes) key and dispatches straight
+    to its executor, skipping the per-call path re-parse.  Either way
+    the executor for a key is a pure function of the key, so eager and
+    replayed steps — in any process — compute identical floats.
+    """
+    fast = _EINSUM_FAST.get(equation)
+    if fast is not None:
+        return fast(a, b)
     key = (equation, a.shape, b.shape)
-    path = _EINSUM_PATHS.get(key)
-    if path is None:
-        path = np.einsum_path(equation, a, b, optimize=True)[0]
-        _EINSUM_PATHS[key] = path
-    return np.einsum(equation, a, b, optimize=path)
+    exec_ = _EINSUM_EXEC.get(key)
+    if exec_ is None:
+        exec_ = _plan_einsum2(equation, a, b)
+        _EINSUM_EXEC[key] = exec_
+    kind, plan, swap = exec_
+    if kind == "bmm":
+        if swap:
+            return _bmm_einsum(plan, b, a)
+        return _bmm_einsum(plan, a, b)
+    return np.einsum(equation, a, b, optimize=plan)
+
+
+def _plan_einsum2(equation: str, a: np.ndarray, b: np.ndarray):
+    """Resolve the executor for one contraction key (first call only)."""
+    if _bmm_einsum is not None:
+        _, contractions = np.einsum_path(
+            equation, a, b, optimize=True, einsum_call=True
+        )
+        if len(contractions) == 1 and tuple(contractions[0][0]) in (
+            (0, 1),
+            (1, 0),
+        ):
+            inds, einsum_str, _ = contractions[0]
+            return ("bmm", einsum_str, tuple(inds) == (1, 0))
+    path = np.einsum_path(equation, a, b, optimize=True)[0]
+    return ("path", path, False)
 
 
 def _extract_windows(
@@ -76,13 +138,57 @@ def _extract_windows(
     stride: Tuple[int, int],
     dilation: Tuple[int, int],
     out_hw: Tuple[int, int],
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Gather sliding windows from a padded NCHW array.
 
     Returns a contiguous array of shape ``(N, C, KH, KW, OH, OW)`` built
-    from a single ``sliding_window_view`` (one strided view, one copy) —
-    no Python loop over the kernel footprint.
+    from KH*KW strided slice copies into a preallocated array — faster
+    (and bit-identical to) the 6-D ``sliding_window_view`` transpose
+    copy (:func:`_extract_windows_view`, kept for equivalence testing).
+    ``out``, when given, is reused as the destination (tape replays
+    recycle one scratch array instead of allocating per step).
     """
+    n, c = x.shape[:2]
+    kh, kw = kernel
+    sh, sw = stride
+    dh, dw = dilation
+    oh, ow = out_hw
+    if kh == 1 and kw == 1:
+        # A 1x1 kernel gathers no neighbourhood: the "extraction" is a
+        # strided subsample of x.  At stride 1 that is x itself — return
+        # a reshape view, zero copies.  The view aliases x; every caller
+        # only reads it, and within a step x is never mutated after the
+        # op that produced it.  Bits are unchanged: the downstream GEMM
+        # sees the same contiguous bytes the copy would have held.
+        win = x[:, :, : (oh - 1) * sh + 1 : sh, : (ow - 1) * sw + 1 : sw]
+        if win.flags["C_CONTIGUOUS"]:
+            return win.reshape(n, c, 1, 1, oh, ow)
+        if out is not None:
+            np.copyto(out.reshape(n, c, oh, ow), win)
+            return out
+        return np.ascontiguousarray(win).reshape(n, c, 1, 1, oh, ow)
+    if out is not None:
+        cols = out
+    else:
+        cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        hi = i * dh
+        for j in range(kw):
+            wj = j * dw
+            cols[:, :, i, j] = x[:, :, hi : hi + sh * oh : sh, wj : wj + sw * ow : sw]
+    return cols
+
+
+def _extract_windows_view(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    dilation: Tuple[int, int],
+    out_hw: Tuple[int, int],
+) -> np.ndarray:
+    """Reference implementation of :func:`_extract_windows` via a single
+    ``sliding_window_view``; kept for equivalence testing."""
     kh, kw = kernel
     sh, sw = stride
     dh, dw = dilation
@@ -96,47 +202,106 @@ def _extract_windows(
     return np.ascontiguousarray(windows.transpose(0, 1, 4, 5, 2, 3))
 
 
-def _extract_windows_loop(
-    x: np.ndarray,
-    kernel: Tuple[int, int],
-    stride: Tuple[int, int],
-    dilation: Tuple[int, int],
-    out_hw: Tuple[int, int],
-) -> np.ndarray:
-    """Reference implementation of :func:`_extract_windows` (KH*KW slice
-    copies); kept for equivalence testing."""
-    n, c = x.shape[:2]
-    kh, kw = kernel
-    sh, sw = stride
-    dh, dw = dilation
-    oh, ow = out_hw
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
-    for i in range(kh):
-        hi = i * dh
-        for j in range(kw):
-            wj = j * dw
-            cols[:, :, i, j] = x[:, :, hi : hi + sh * oh : sh, wj : wj + sw * ow : sw]
-    return cols
-
-
 def _scatter_windows(
     cols: np.ndarray,
     x_shape: Tuple[int, ...],
     kernel: Tuple[int, int],
     stride: Tuple[int, int],
     dilation: Tuple[int, int],
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Inverse of :func:`_extract_windows`: scatter-add windows back."""
+    """Inverse of :func:`_extract_windows`: scatter-add windows back.
+
+    ``out``, when given, is zero-filled and reused as the destination
+    (the scatter accumulates, so it must be reset every call).
+    """
     kh, kw = kernel
     sh, sw = stride
     dh, dw = dilation
     oh, ow = cols.shape[-2:]
-    out = np.zeros(x_shape, dtype=cols.dtype)
+    if out is None:
+        out = np.zeros(x_shape, dtype=cols.dtype)
+    else:
+        out[...] = 0.0
     for i in range(kh):
         hi = i * dh
         for j in range(kw):
             wj = j * dw
             out[:, :, hi : hi + sh * oh : sh, wj : wj + sw * ow : sw] += cols[:, :, i, j]
+    return out
+
+
+def _conv_dx(
+    grad: np.ndarray,
+    weight: np.ndarray,
+    x_pad_shape: Tuple[int, ...],
+    stride: Tuple[int, int],
+    dilation: Tuple[int, int],
+    groups: int,
+    bufs: Optional[dict] = None,
+) -> np.ndarray:
+    """Input gradient of conv2d w.r.t. the *padded* input, as a
+    transposed convolution: zero-stuff ``grad`` by the stride, pad by
+    the dilated kernel extent, and contract with the spatially flipped
+    weights in a single grouped GEMM — no Python loop over kernel taps.
+
+    Equivalent to ``_scatter_windows(<dX cols>)`` (the reference kept
+    above for equivalence testing) up to floating-point reduction order.
+
+    ``bufs``, when given, is a per-call-site scratch dict: the stuffed /
+    cols / GEMM arrays are allocated into it on first use and reused on
+    later calls (tape replays invoke the same retained closure every
+    step).  Values are fully rewritten each call — only positions that
+    are zero on *every* call are skipped — so reuse never changes bits.
+    The returned array aliases the scratch; callers must consume it
+    before the next call (the backward walk does).
+    """
+    n, oc, oh, ow = grad.shape
+    _, c, hp, wp = x_pad_shape
+    ocg, cg, kh, kw = weight.shape[0] // groups, weight.shape[1], weight.shape[2], weight.shape[3]
+    sh, sw = stride
+    dh, dw = dilation
+    eh = dh * (kh - 1) + 1
+    ew = dw * (kw - 1) + 1
+    if bufs is None:
+        bufs = {}
+    # Zero-stuffed gradient, padded by the dilated kernel extent.  The
+    # zeros between strided taps never change across calls.
+    gh = sh * (oh - 1) + 1
+    gw_ = sw * (ow - 1) + 1
+    stuffed = bufs.get("stuffed")
+    if stuffed is None:
+        stuffed = bufs["stuffed"] = np.zeros(
+            (n, oc, gh + 2 * (eh - 1), gw_ + 2 * (ew - 1)), dtype=grad.dtype
+        )
+    stuffed[:, :, eh - 1 : eh - 1 + gh : sh, ew - 1 : ew - 1 + gw_ : sw] = grad
+    # Rows/cols of the padded input beyond the last window tap receive
+    # no gradient; compute the covered region and zero-fill the rest.
+    ch = gh + eh - 1
+    cw = gw_ + ew - 1
+    cols = _extract_windows(
+        stuffed, (kh, kw), (1, 1), dilation, (ch, cw), out=bufs.get("cols")
+    )
+    bufs["cols"] = cols
+    cols_r = cols.reshape(n, groups, ocg * kh * kw, ch * cw)
+    # (G, C/G, OC/G * KH * KW): weights flipped along both spatial axes,
+    # grouped with input channels as the output of the transposed conv.
+    w_flip = weight[:, :, ::-1, ::-1].reshape(groups, ocg, cg, kh, kw)
+    w_t = np.ascontiguousarray(w_flip.transpose(0, 2, 1, 3, 4)).reshape(
+        groups, cg, ocg * kh * kw
+    )
+    gxb = bufs.get("gx")
+    if gxb is None:
+        gxb = bufs["gx"] = np.empty((n, groups, cg, ch * cw), dtype=grad.dtype)
+    # Same kernel as _einsum2("gok,ngkp->ngop", ...), with a destination.
+    np.matmul(w_t, cols_r, out=gxb)
+    gx = gxb.reshape(n, c, ch, cw)
+    if ch == hp and cw == wp:
+        return gx
+    out = bufs.get("out")
+    if out is None:
+        out = bufs["out"] = np.zeros(x_pad_shape, dtype=grad.dtype)
+    out[:, :, :ch, :cw] = gx
     return out
 
 
@@ -180,6 +345,9 @@ def conv2d(
         out = out + bias.data.reshape(1, oc, 1, 1)
 
     parents = (x_pad, weight) if bias is None else (x_pad, weight, bias)
+    # Scratch buffers reused across calls of the retained closures (tape
+    # replays); eager closures run once, so this is a no-op for them.
+    _bw: dict = {}
 
     def backward(grad: np.ndarray) -> None:
         grad_r = grad.reshape(n, groups, oc // groups, oh * ow)
@@ -189,12 +357,45 @@ def conv2d(
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
         if x_pad.requires_grad:
-            gcols = _einsum2("gok,ngop->ngkp", w_r, grad_r)
-            gcols = gcols.reshape(n, c, kh, kw, oh, ow)
-            gx = _scatter_windows(gcols, x_pad.shape, (kh, kw), stride, dilation)
-            x_pad._accumulate(gx)
+            x_pad._accumulate(
+                _conv_dx(
+                    grad, weight.data, x_pad.shape, stride, dilation, groups,
+                    bufs=_bw,
+                )
+            )
 
-    return Tensor._make(out, parents, backward)
+    out_t = Tensor._make(out, parents, backward)
+    if _ag._TAPE is not None:
+        _rp: dict = {}
+
+        def replay() -> None:
+            nonlocal cols_r, w_r
+            cols = _extract_windows(
+                x_pad.data, (kh, kw), stride, dilation, (oh, ow),
+                out=_rp.get("cols"),
+            )
+            _rp["cols"] = cols
+            cols_r = cols.reshape(n, groups, cg * kh * kw, oh * ow)
+            w_r = weight.data.reshape(groups, oc // groups, cg * kh * kw)
+            ob = _rp.get("o")
+            if ob is None:
+                ob = _rp["o"] = np.empty(
+                    (n, groups, oc // groups, oh * ow), dtype=cols.dtype
+                )
+            # Same kernel as _einsum2("gok,ngkp->ngop", ...), reusing the
+            # destination across replays.
+            np.matmul(w_r, cols_r, out=ob)
+            o = ob.reshape(n, oc, oh, ow)
+            if bias is not None:
+                bb = _rp.get("b")
+                if bb is None:
+                    bb = _rp["b"] = np.empty((n, oc, oh, ow), dtype=cols.dtype)
+                np.add(o, bias.data.reshape(1, oc, 1, 1), out=bb)
+                o = bb
+            out_t.data = o
+
+        _ag._TAPE.append(("conv2d", replay))
+    return out_t
 
 
 def max_pool2d(
@@ -216,17 +417,90 @@ def max_pool2d(
     arg = flat.argmax(axis=2)
     out = np.take_along_axis(flat, arg[:, :, None], axis=2)[:, :, 0]
 
+    _bw: dict = {}
+
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        gflat = np.zeros_like(flat)
+        gflat = _bw.get("gflat")
+        if gflat is None:
+            gflat = _bw["gflat"] = np.zeros_like(flat)
+        else:
+            # Winning positions change between replays: reset the scatter.
+            gflat[...] = 0.0
         np.put_along_axis(gflat, arg[:, :, None], grad[:, :, None], axis=2)
         gcols = gflat.reshape(n, c, kernel[0], kernel[1], oh, ow)
-        gx_pad = _scatter_windows(gcols, x_pad.shape, kernel, stride, (1, 1))
+        gx_pad = _scatter_windows(
+            gcols, x_pad.shape, kernel, stride, (1, 1), out=_bw.get("gx_pad")
+        )
+        _bw["gx_pad"] = gx_pad
         gx = gx_pad[:, :, ph : ph + h, pw : pw + w]
         x._accumulate(gx)
 
-    return Tensor._make(out, (x,), backward)
+    out_t = Tensor._make(out, (x,), backward)
+    if _ag._TAPE is not None:
+        # The -inf border of the padded array never changes: replays
+        # reuse the captured pad buffer and rewrite only the interior.
+        _rp: dict = {"x_pad": x_pad}
+
+        def replay() -> None:
+            nonlocal x_pad, flat, arg
+            x_pad = _rp["x_pad"]
+            x_pad[:, :, ph : ph + h, pw : pw + w] = x.data
+            cols2 = _extract_windows(
+                x_pad, kernel, stride, (1, 1), (oh, ow), out=_rp.get("cols")
+            )
+            _rp["cols"] = cols2
+            flat = cols2.reshape(n, c, kernel[0] * kernel[1], oh, ow)
+            arg = flat.argmax(axis=2)
+            out_t.data = np.take_along_axis(flat, arg[:, :, None], axis=2)[:, :, 0]
+
+        _ag._TAPE.append(("max_pool2d", replay))
+    return out_t
+
+
+def _pool_taps(
+    kernel: Tuple[int, int], stride: Tuple[int, int], out_hw: Tuple[int, int]
+):
+    """The (row, col) slice pair of each kernel tap over a padded input.
+
+    Tap ``(i, j)``'s slices select the (OH, OW) input positions that the
+    kernel element ``(i, j)`` touches across all windows; iterating taps
+    in fixed row-major order keeps strided-add accumulation orders (and
+    therefore floating-point results) reproducible call to call.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    oh, ow = out_hw
+    for i in range(kh):
+        for j in range(kw):
+            yield (
+                slice(i, i + sh * (oh - 1) + 1, sh),
+                slice(j, j + sw * (ow - 1) + 1, sw),
+            )
+
+
+def _box_sum(
+    x_pad: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    out_hw: Tuple[int, int],
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-window sum via KH*KW strided adds — no window materialisation.
+
+    Equivalent to ``_extract_windows(...).sum(axis=(2, 3))`` but touches
+    each input element once instead of writing a KH*KW-times-larger
+    column buffer first.
+    """
+    taps = _pool_taps(kernel, stride, out_hw)
+    hs, ws = next(taps)
+    if out is None:
+        out = np.empty(x_pad.shape[:2] + out_hw, dtype=x_pad.dtype)
+    np.copyto(out, x_pad[:, :, hs, ws])
+    for hs, ws in taps:
+        out += x_pad[:, :, hs, ws]
+    return out
 
 
 def avg_pool2d(
@@ -251,25 +525,52 @@ def avg_pool2d(
     ph, pw = padding
     pads = [(0, 0), (0, 0), (ph, ph), (pw, pw)]
     x_pad = np.pad(x.data, pads)
-    cols = _extract_windows(x_pad, kernel, stride, (1, 1), (oh, ow))
     if count_include_pad or (ph == 0 and pw == 0):
         divisor = np.full((oh, ow), kernel[0] * kernel[1], dtype=x.data.dtype)
     else:
         ones = np.pad(np.ones((1, 1, h, w), dtype=x.data.dtype), pads)
-        divisor = _extract_windows(ones, kernel, stride, (1, 1), (oh, ow)).sum(axis=(2, 3))[0, 0]
-    out = cols.sum(axis=(2, 3)) / divisor
+        divisor = _box_sum(ones, kernel, stride, (oh, ow))[0, 0]
+    out = _box_sum(x_pad, kernel, stride, (oh, ow)) / divisor
+
+    _bw: dict = {}
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        g = grad / divisor
-        gcols = np.broadcast_to(
-            g[:, :, None, None], (n, c, kernel[0], kernel[1], oh, ow)
-        ).copy()
-        gx_pad = _scatter_windows(gcols, x_pad.shape, kernel, stride, (1, 1))
+        g = _bw.get("g")
+        if g is None:
+            g = _bw["g"] = np.empty(grad.shape, dtype=grad.dtype)
+        np.divide(grad, divisor, out=g)
+        gx_pad = _bw.get("gx_pad")
+        if gx_pad is None:
+            gx_pad = _bw["gx_pad"] = np.zeros(x_pad.shape, dtype=grad.dtype)
+        else:
+            gx_pad[...] = 0.0
+        # Every window position receives the same g, so scatter g
+        # directly tap by tap — no KH*KW column buffer.
+        for hs, ws in _pool_taps(kernel, stride, (oh, ow)):
+            gx_pad[:, :, hs, ws] += g
         x._accumulate(gx_pad[:, :, ph : ph + h, pw : pw + w])
 
-    return Tensor._make(out, (x,), backward)
+    out_t = Tensor._make(out, (x,), backward)
+    if _ag._TAPE is not None:
+        # Zero border never changes: reuse the captured pad buffer.
+        _rp: dict = {"x_pad": x_pad}
+
+        def replay() -> None:
+            nonlocal x_pad
+            x_pad = _rp["x_pad"]
+            x_pad[:, :, ph : ph + h, pw : pw + w] = x.data
+            s = _box_sum(x_pad, kernel, stride, (oh, ow), out=_rp.get("s"))
+            _rp["s"] = s
+            o = _rp.get("o")
+            if o is None:
+                o = _rp["o"] = np.empty(s.shape, dtype=s.dtype)
+            np.divide(s, divisor, out=o)
+            out_t.data = o
+
+        _ag._TAPE.append(("avg_pool2d", replay))
+    return out_t
 
 
 def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
@@ -296,19 +597,38 @@ def relu(x: Tensor) -> Tensor:
     return x.relu()
 
 
+def _shift_const(x: Tensor, axis: int) -> Tensor:
+    """Max-shift constant for numerically stable softmax.
+
+    The shift is a *constant* tensor (no gradient flows through it); when
+    a tape capture is active, a refresh thunk is recorded so replays see
+    the max of the current input rather than the captured one.
+    """
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    if _ag._TAPE is not None:
+
+        def replay(xt=x, s=shift):
+            s.data = xt.data.max(axis=axis, keepdims=True)
+
+        _ag._TAPE.append(("softmax_shift", replay))
+    return shift
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _shift_const(x, axis)
     e = shifted.exp()
     return e / e.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _shift_const(x, axis)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
 def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
     """Negative log-likelihood of integer ``targets`` under ``log_probs``."""
+    if _ag._TAPE is not None:
+        raise TapeUnsupported("nll_loss cannot be tape-captured")
     targets = np.asarray(targets)
     n = log_probs.shape[0]
     picked = log_probs[np.arange(n), targets]
@@ -320,7 +640,13 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
 
     Equivalent to ``nll_loss(log_softmax(logits), targets)`` but records a
     single graph node, which keeps the backward pass cheap on the hot path.
+
+    Not capturable: the integer targets are not part of the tensor graph,
+    so a replayed tape could never refresh them.  The compiled step runs
+    the loss eagerly on the replayed logits instead.
     """
+    if _ag._TAPE is not None:
+        raise TapeUnsupported("cross_entropy cannot be tape-captured")
     targets = np.asarray(targets)
     n, k = logits.shape
     shifted = logits.data - logits.data.max(axis=1, keepdims=True)
@@ -345,6 +671,141 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if _ag._TAPE is not None:
+        # A replayed mask would freeze the RNG draw made at capture time;
+        # callers fall back to eager execution for this key.
+        raise TapeUnsupported("active dropout cannot be tape-captured")
     rng = rng or np.random.default_rng()
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
     return x * Tensor(mask.astype(x.data.dtype))
+
+
+def conv_bn_relu(x: Tensor, conv, bn, with_relu: bool = True) -> Tensor:
+    """Fused conv → batch-norm [→ ReLU] primitive (one graph node).
+
+    ``conv`` is a bias-free :class:`repro.nn.Conv2d`, ``bn`` a
+    :class:`repro.nn.BatchNorm2d` over ``conv.out_channels``.  Training
+    mode normalises with batch statistics, updates the running estimates
+    (a side effect re-run on every tape replay), and backpropagates with
+    the analytic fused batch-norm backward.  Eval mode folds the BN
+    scale into the convolution weights and the shift into the epilogue —
+    one einsum instead of conv-then-normalise.
+
+    Opt-in (``tape_fusion``): the fused backward associates the
+    reductions differently from the unfused composition, so results are
+    tolerance-equal, not bit-equal, to the eager reference.
+    """
+    weight = conv.weight
+    stride = _pair(conv.stride)
+    padding = _pair(conv.padding)
+    dilation = _pair(conv.dilation)
+    groups = conv.groups
+    n, c, h, w = x.shape
+    oc, cg, kh, kw = weight.shape
+    oh = _conv_output_size(h, kh, stride[0], padding[0], dilation[0])
+    ow = _conv_output_size(w, kw, stride[1], padding[1], dilation[1])
+    x_pad = x.pad2d(padding)
+    affine = bn.affine
+    # Saved forward state, refreshed in place on every replay so the
+    # retained backward closure always reads current values.
+    sv: dict = {}
+    # Scratch reused across calls of the retained closures (replays).
+    _bw: dict = {}
+
+    def _fwd() -> np.ndarray:
+        cols = _extract_windows(
+            x_pad.data, (kh, kw), stride, dilation, (oh, ow),
+            out=sv.get("cols"),
+        )
+        sv["cols"] = cols
+        cols_r = cols.reshape(n, groups, cg * kh * kw, oh * ow)
+        w_r = weight.data.reshape(groups, oc // groups, cg * kh * kw)
+        training = bn.training
+        if training:
+            y = _einsum2("gok,ngkp->ngop", w_r, cols_r).reshape(n, oc, oh, ow)
+            mean = y.mean(axis=(0, 2, 3))
+            var = y.var(axis=(0, 2, 3))
+            bn.running_mean[...] = (
+                (1 - bn.momentum) * bn.running_mean + bn.momentum * mean
+            )
+            bn.running_var[...] = (
+                (1 - bn.momentum) * bn.running_var + bn.momentum * var
+            )
+            inv_std = 1.0 / np.sqrt(var + bn.eps)
+            xhat = (y - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+            if affine:
+                out = xhat * bn.weight.data.reshape(1, -1, 1, 1)
+                out += bn.bias.data.reshape(1, -1, 1, 1)
+            else:
+                out = xhat.copy()
+        else:
+            # Eval: fold scale into the weights, shift into the epilogue.
+            inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+            scale = inv_std * (bn.weight.data if affine else 1.0)
+            shift = -bn.running_mean * scale
+            if affine:
+                shift = shift + bn.bias.data
+            w_fold = w_r * scale.reshape(groups, oc // groups, 1)
+            out = _einsum2("gok,ngkp->ngop", w_fold, cols_r).reshape(n, oc, oh, ow)
+            out += shift.reshape(1, -1, 1, 1)
+            xhat = None
+            sv["scale"] = scale
+        if with_relu:
+            mask = out > 0
+            out = np.where(mask, out, 0.0)
+            sv["mask"] = mask
+        sv.update(
+            cols_r=cols_r, w_r=w_r, inv_std=inv_std, xhat=xhat, training=training
+        )
+        return out
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad * sv["mask"] if with_relu else grad
+        if sv["training"]:
+            xhat = sv["xhat"]
+            if affine:
+                if bn.weight.requires_grad:
+                    bn.weight._accumulate((g * xhat).sum(axis=(0, 2, 3)))
+                if bn.bias.requires_grad:
+                    bn.bias._accumulate(g.sum(axis=(0, 2, 3)))
+                dxhat = g * bn.weight.data.reshape(1, -1, 1, 1)
+            else:
+                dxhat = g
+            m = float(n * oh * ow)
+            s1 = dxhat.sum(axis=(0, 2, 3), keepdims=True)
+            s2 = (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True)
+            dy = (sv["inv_std"].reshape(1, -1, 1, 1) / m) * (
+                m * dxhat - s1 - xhat * s2
+            )
+        else:
+            if affine:
+                # Eval-mode dgamma/dbeta via the unfolded normalised input.
+                if bn.weight.requires_grad or bn.bias.requires_grad:
+                    raise NotImplementedError(
+                        "eval-mode fused conv_bn_relu does not support "
+                        "affine gradient accumulation"
+                    )
+            dy = g * sv["scale"].reshape(1, -1, 1, 1)
+        grad_r = dy.reshape(n, groups, oc // groups, oh * ow)
+        if weight.requires_grad:
+            gw = _einsum2("ngop,ngkp->gok", grad_r, sv["cols_r"])
+            weight._accumulate(gw.reshape(weight.shape))
+        if x_pad.requires_grad:
+            x_pad._accumulate(
+                _conv_dx(
+                    dy, weight.data, x_pad.shape, stride, dilation, groups,
+                    bufs=_bw,
+                )
+            )
+
+    parents = [x_pad, weight]
+    if affine:
+        parents += [bn.weight, bn.bias]
+    out_t = Tensor._make(_fwd(), tuple(parents), backward)
+    if _ag._TAPE is not None:
+
+        def replay() -> None:
+            out_t.data = _fwd()
+
+        _ag._TAPE.append(("conv_bn_relu", replay))
+    return out_t

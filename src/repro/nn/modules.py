@@ -29,6 +29,8 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from . import tape as _tape
+from . import tensor as _ag
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -307,8 +309,38 @@ class Sequential(Module):
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)
+        if _ag._TAPE is not None and _tape.fusion_enabled():
+            return self._forward_fused(x)
         for layer in self.layers:
             x = layer(x)
+        return x
+
+    def _forward_fused(self, x: Tensor) -> Tensor:
+        """Capture-time forward that emits fused conv→BN[→ReLU] nodes.
+
+        Adjacent bias-free ``Conv2d`` → ``BatchNorm2d`` (→ ``ReLU``)
+        runs become one :func:`repro.nn.functional.conv_bn_relu` tape
+        primitive; everything else executes layer by layer as usual.
+        """
+        layers = self.layers
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            nxt = layers[i + 1] if i + 1 < len(layers) else None
+            if (
+                isinstance(layer, Conv2d)
+                and layer.bias is None
+                and isinstance(nxt, BatchNorm2d)
+                and nxt.num_features == layer.out_channels
+            ):
+                with_relu = i + 2 < len(layers) and isinstance(
+                    layers[i + 2], ReLU
+                )
+                x = F.conv_bn_relu(x, layer, nxt, with_relu=with_relu)
+                i += 3 if with_relu else 2
+            else:
+                x = layer(x)
+                i += 1
         return x
 
     def __iter__(self) -> Iterator[Module]:
@@ -469,23 +501,48 @@ class BatchNorm2d(Module):
         if x.ndim != 4:
             raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
         if self.training:
-            mean = x.data.mean(axis=(0, 2, 3))
-            var = x.data.var(axis=(0, 2, 3))
-            self.running_mean[...] = (
-                (1 - self.momentum) * self.running_mean + self.momentum * mean
-            )
-            self.running_var[...] = (
-                (1 - self.momentum) * self.running_var + self.momentum * var
-            )
             # Differentiable normalisation via tensor ops (grads flow
-            # through the batch statistics).
+            # through the batch statistics).  The batch statistics are
+            # computed exactly once — the running-average update below
+            # reads the same ``mu``/``sigma2`` arrays the graph uses, so
+            # training costs two reduction passes per call, not five.
             mu = x.mean(axis=(0, 2, 3), keepdims=True)
-            sigma2 = x.var(axis=(0, 2, 3), keepdims=True)
-            xhat = (x - mu) / (sigma2 + self.eps).sqrt()
+            diff = x - mu
+            sigma2 = (diff * diff).mean(axis=(0, 2, 3), keepdims=True)
+
+            def _bn_stats(bn=self, m=mu, v=sigma2) -> None:
+                bn.running_mean[...] = (
+                    (1 - bn.momentum) * bn.running_mean
+                    + bn.momentum * m.data.reshape(-1)
+                )
+                bn.running_var[...] = (
+                    (1 - bn.momentum) * bn.running_var
+                    + bn.momentum * v.data.reshape(-1)
+                )
+
+            _bn_stats()
+            if _ag._TAPE is not None:
+                # Replays must update the running statistics at the same
+                # tape position (the eager call above already did it for
+                # the capture step itself).  ``m.data``/``v.data`` are
+                # the replay-refreshed statistic buffers.
+                _ag._TAPE.append(("bn_stats", _bn_stats))
+            xhat = diff / (sigma2 + self.eps).sqrt()
         else:
             mu = self.running_mean.reshape(1, -1, 1, 1)
             sigma = np.sqrt(self.running_var.reshape(1, -1, 1, 1) + self.eps)
-            xhat = (x - Tensor(mu)) / Tensor(sigma)
+            mu_t, sigma_t = Tensor(mu), Tensor(sigma)
+            if _ag._TAPE is not None:
+                # Constants derived from buffers: refresh on replay so a
+                # captured eval-mode graph tracks applied state.
+                def _bn_consts(bn=self, m=mu_t, s=sigma_t) -> None:
+                    m.data = bn.running_mean.reshape(1, -1, 1, 1)
+                    s.data = np.sqrt(
+                        bn.running_var.reshape(1, -1, 1, 1) + bn.eps
+                    )
+
+                _ag._TAPE.append(("bn_consts", _bn_consts))
+            xhat = (x - mu_t) / sigma_t
         if self.affine:
             gamma = self.weight.reshape(1, self.num_features, 1, 1)
             beta = self.bias.reshape(1, self.num_features, 1, 1)

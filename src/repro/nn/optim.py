@@ -122,6 +122,9 @@ def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
+            # A borrowed (copy-on-write) gradient may be shared with
+            # another tensor; materialise before scaling in place.
+            p.own_grad()
             p.grad *= scale
     return total
 

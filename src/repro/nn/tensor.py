@@ -10,6 +10,21 @@ The engine supports full numpy broadcasting.  Gradients flowing into a
 broadcast operand are reduced back to the operand's shape by
 :func:`_unbroadcast`.
 
+Two hot-path mechanisms live here alongside the classic eager engine:
+
+* **Copy-on-write gradient accumulation** — the first gradient reaching a
+  tensor is *borrowed* by reference instead of deep-copied; a second
+  accumulation (or :meth:`Tensor.own_grad`) materialises a private array.
+  Callers that mutate ``.grad`` in place must call :meth:`Tensor.own_grad`
+  first (see :func:`repro.nn.optim.clip_grad_norm`).
+* **Tape capture** — while :mod:`repro.nn.tape` has a recording active
+  (module global ``_TAPE``), every operation appends a replay thunk that
+  recomputes its output *into the already-built graph* (rebinding
+  ``out.data`` and any saved backward state).  Replaying the tape reruns
+  the forward with zero Python graph construction; the retained backward
+  closures then see exactly the refreshed values, so replayed numerics
+  are bit-identical to eager execution.
+
 Only float arrays participate in differentiation.  Integer tensors (e.g.
 label arrays) may be wrapped for convenience but must have
 ``requires_grad=False``.
@@ -27,6 +42,19 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED = True
+
+#: Active tape recording (a list of ``(op_name, replay_fn)`` entries) or
+#: ``None``.  Installed/cleared by :mod:`repro.nn.tape`; operations check
+#: it once per call, so the eager path pays a single global read.
+_TAPE: Optional[list] = None
+
+
+def _set_tape(tape: Optional[list]) -> Optional[list]:
+    """Install (or clear) the active tape; returns the previous one."""
+    global _TAPE
+    previous = _TAPE
+    _TAPE = tape
+    return previous
 
 
 @contextlib.contextmanager
@@ -89,7 +117,15 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data",
+        "_grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_grad_owned",
+        "_grad_buf",
+    )
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -99,10 +135,29 @@ class Tensor:
             raise TypeError(
                 f"only floating tensors can require grad, got {self.data.dtype}"
             )
-        self.grad: Optional[np.ndarray] = None
+        self._grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = ()
+        #: whether ``.grad`` is a private array this tensor may mutate in
+        #: place (copy-on-write accumulation: the first gradient is
+        #: borrowed by reference and only materialised on demand).
+        self._grad_owned = False
+        #: optional preallocated gradient buffer (tape replay): when set,
+        #: the first accumulation copies into it instead of allocating.
+        self._grad_buf: Optional[np.ndarray] = None
+
+    @property
+    def grad(self) -> Optional[np.ndarray]:
+        return self._grad
+
+    @grad.setter
+    def grad(self, value: Optional[np.ndarray]) -> None:
+        # Direct assignment keeps the historical contract: the assigned
+        # array belongs to this tensor and may be mutated in place.  Only
+        # `_accumulate`'s borrow path sets `_grad_owned = False`.
+        self._grad = value
+        self._grad_owned = True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -170,12 +225,56 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's ``.grad`` buffer."""
-        if self.grad is None:
-            # Copy so later in-place accumulation cannot alias caller data.
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        """Add ``grad`` into this tensor's ``.grad`` buffer.
+
+        First arrival: copy into the preallocated ``_grad_buf`` when one
+        is set (tape replay), otherwise *borrow* ``grad`` by reference
+        (copy-on-write — materialised only if a second gradient arrives
+        or a caller asks via :meth:`own_grad`).  Borrowing skips one full
+        array copy per single-consumer node; every in-place mutation
+        site must go through :meth:`own_grad`.
+
+        Only C-contiguous arrays are borrowed: downstream reductions
+        (``np.sum`` pairwise summation) are sensitive to memory layout,
+        so normalising here keeps every ``.grad`` a node's backward ever
+        sees C-contiguous — which is what makes preallocated replay
+        buffers bit-identical to eager accumulation.
+        """
+        if self._grad is None:
+            buf = self._grad_buf
+            if buf is not None:
+                np.copyto(buf, grad, casting="unsafe")
+                self._grad = buf
+                self._grad_owned = True
+            elif (
+                isinstance(grad, np.ndarray)
+                and grad.dtype == self.data.dtype
+                and grad.shape == self.data.shape
+                and grad.flags["C_CONTIGUOUS"]
+            ):
+                self._grad = grad
+                self._grad_owned = False
+            else:
+                self._grad = np.array(grad, dtype=self.data.dtype, copy=True)
+                self._grad_owned = True
+        elif self._grad_owned:
+            self._grad += grad
         else:
-            self.grad += grad
+            # Borrowed first gradient: leave the caller's array untouched.
+            self._grad = self._grad + grad
+            self._grad_owned = True
+
+    def own_grad(self) -> Optional[np.ndarray]:
+        """Materialise ``.grad`` as a private array and return it.
+
+        Required before any in-place mutation of ``.grad`` — a borrowed
+        gradient may be shared with another tensor (e.g. both operands
+        of a same-shape ``a + b`` receive the *same* upstream array).
+        """
+        if self._grad is not None and not self._grad_owned:
+            self._grad = self._grad.copy()
+            self._grad_owned = True
+        return self._grad
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -238,16 +337,39 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+            # Replays rewrite the captured output array in place.
+            def replay(a=self, b=other, o=out, buf=out_data):
+                np.add(a.data, b.data, out=buf)
+                o.data = buf
+
+            _TAPE.append(("add", replay))
+        return out
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        out_data = -self.data
+        _bw: list = [None]
+
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                buf = _bw[0]
+                if buf is None:
+                    buf = _bw[0] = np.empty(grad.shape, dtype=grad.dtype)
+                np.negative(grad, out=buf)
+                self._accumulate(buf)
 
-        return Tensor._make(-self.data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            # Replays rewrite the captured output array in place.
+            def replay(a=self, o=out, buf=out_data):
+                np.negative(a.data, out=buf)
+                o.data = buf
+
+            _TAPE.append(("neg", replay))
+        return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-as_tensor(other, dtype=self.data.dtype))
@@ -258,30 +380,78 @@ class Tensor:
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other, dtype=self.data.dtype)
         out_data = self.data * other.data
+        # Product scratch reused across calls of the retained closure
+        # (replays); eager closures run once, so no behaviour change.
+        _bw: list = [None, None]
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                buf = _bw[0]
+                if buf is None:
+                    buf = _bw[0] = np.empty(grad.shape, dtype=grad.dtype)
+                np.multiply(grad, other.data, out=buf)
+                self._accumulate(_unbroadcast(buf, self.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                buf = _bw[1]
+                if buf is None:
+                    buf = _bw[1] = np.empty(grad.shape, dtype=grad.dtype)
+                np.multiply(grad, self.data, out=buf)
+                other._accumulate(_unbroadcast(buf, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+            # Replays rewrite the captured output array in place.
+            def replay(a=self, b=other, o=out, buf=out_data):
+                np.multiply(a.data, b.data, out=buf)
+                o.data = buf
+
+            _TAPE.append(("mul", replay))
+        return out
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other, dtype=self.data.dtype)
         out_data = self.data / other.data
+        # Quotient scratch reused across calls of the retained closure
+        # (replays); eager closures run once, so no behaviour change.
+        _bw: list = [None, None, None]
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                buf = _bw[0]
+                if buf is None:
+                    buf = _bw[0] = np.empty(grad.shape, dtype=grad.dtype)
+                np.divide(grad, other.data, out=buf)
+                self._accumulate(_unbroadcast(buf, self.shape))
             if other.requires_grad:
-                other._accumulate(
-                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
-                )
+                buf = _bw[1]
+                if buf is None:
+                    buf = _bw[1] = np.empty(grad.shape, dtype=grad.dtype)
+                # ((-grad) * a) / b**2 computed as -(grad * a) / (b*b):
+                # IEEE multiplication is sign-symmetric and numpy lowers
+                # the integer power 2 to a multiply, so the bytes match
+                # the single-expression form.
+                np.multiply(grad, self.data, out=buf)
+                np.negative(buf, out=buf)
+                sq = _bw[2]
+                if sq is None:
+                    sq = _bw[2] = np.empty(
+                        other.data.shape, dtype=other.data.dtype
+                    )
+                np.multiply(other.data, other.data, out=sq)
+                np.divide(buf, sq, out=buf)
+                other._accumulate(_unbroadcast(buf, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+            # Replays rewrite the captured output array in place.
+            def replay(a=self, b=other, o=out, buf=out_data):
+                np.divide(a.data, b.data, out=buf)
+                o.data = buf
+
+            _TAPE.append(("div", replay))
+        return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other, dtype=self.data.dtype) / self
@@ -295,7 +465,14 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay(a=self, o=out):
+                o.data = a.data ** exponent
+
+            _TAPE.append(("pow", replay))
+        return out
 
     # ------------------------------------------------------------------
     # Elementwise functions
@@ -307,7 +484,17 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            # ``nonlocal`` rebinds the cell shared with ``backward`` so
+            # the retained closure sees the refreshed saved value.
+            def replay() -> None:
+                nonlocal out_data
+                out_data = np.exp(self.data)
+                out.data = out_data
+
+            _TAPE.append(("exp", replay))
+        return out
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -316,16 +503,39 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay(a=self, o=out):
+                o.data = np.log(a.data)
+
+            _TAPE.append(("log", replay))
+        return out
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
+        _bw: list = [None]
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * 0.5 / out_data)
+                buf = _bw[0]
+                if buf is None:
+                    buf = _bw[0] = np.empty(grad.shape, dtype=grad.dtype)
+                np.multiply(grad, 0.5, out=buf)
+                np.divide(buf, out_data, out=buf)
+                self._accumulate(buf)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            # Replays rewrite the captured output array in place.
+            def replay(buf=out_data) -> None:
+                nonlocal out_data
+                np.sqrt(self.data, out=buf)
+                out_data = buf
+                out.data = buf
+
+            _TAPE.append(("sqrt", replay))
+        return out
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -334,7 +544,16 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - out_data ** 2))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay() -> None:
+                nonlocal out_data
+                out_data = np.tanh(self.data)
+                out.data = out_data
+
+            _TAPE.append(("tanh", replay))
+        return out
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -343,17 +562,42 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay() -> None:
+                nonlocal out_data
+                out_data = 1.0 / (1.0 + np.exp(-self.data))
+                out.data = out_data
+
+            _TAPE.append(("sigmoid", replay))
+        return out
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out_data = np.where(mask, self.data, 0.0)
+        _bw: list = [None]
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                buf = _bw[0]
+                if buf is None:
+                    buf = _bw[0] = np.empty(grad.shape, dtype=grad.dtype)
+                np.multiply(grad, mask, out=buf)
+                self._accumulate(buf)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            # Replays reuse the captured mask array (np.where's single
+            # pass beats a fill + masked copy, so the output is fresh).
+            def replay(a=self, o=out, m=mask) -> None:
+                nonlocal mask
+                np.greater(a.data, 0, out=m)
+                mask = m
+                o.data = np.where(m, a.data, 0.0)
+
+            _TAPE.append(("relu", replay))
+        return out
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
@@ -363,13 +607,25 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * sign)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay() -> None:
+                nonlocal sign
+                sign = np.sign(self.data)
+                out.data = np.abs(self.data)
+
+            _TAPE.append(("abs", replay))
+        return out
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        # Scratch reused across calls of the retained closure (replays);
+        # the eager closure runs once, so this is a no-op for it.
+        _bw: list = [None]
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -377,9 +633,27 @@ class Tensor:
             g = grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            buf = _bw[0]
+            if buf is None:
+                buf = _bw[0] = np.empty(self.shape, dtype=self.data.dtype)
+            np.copyto(buf, g)
+            self._accumulate(buf)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            if isinstance(out_data, np.ndarray) and out_data.ndim:
+                # Replays rewrite the captured output array in place.
+                def replay(a=self, o=out, buf=out_data):
+                    a.data.sum(axis=axis, keepdims=keepdims, out=buf)
+                    o.data = buf
+
+            else:
+                # Full reduction yields a scalar; no buffer to reuse.
+                def replay(a=self, o=out):
+                    o.data = a.data.sum(axis=axis, keepdims=keepdims)
+
+            _TAPE.append(("sum", replay))
+        return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else np.prod(
@@ -403,7 +677,16 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(np.where(mask, g / counts, 0.0))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay() -> None:
+                nonlocal out_data
+                out_data = self.data.max(axis=axis, keepdims=keepdims)
+                out.data = out_data
+
+            _TAPE.append(("max", replay))
+        return out
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Population variance (ddof=0), differentiable."""
@@ -424,7 +707,14 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay(a=self, o=out):
+                o.data = a.data.reshape(shape)
+
+            _TAPE.append(("reshape", replay))
+        return out
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -438,7 +728,14 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay(a=self, o=out):
+                o.data = a.data.transpose(axes)
+
+            _TAPE.append(("transpose", replay))
+        return out
 
     @property
     def T(self) -> "Tensor":
@@ -453,7 +750,14 @@ class Tensor:
                 np.add.at(full, key, grad)
                 self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay(a=self, o=out):
+                o.data = a.data[key]
+
+            _TAPE.append(("getitem", replay))
+        return out
 
     def pad2d(self, padding: Tuple[int, int]) -> "Tensor":
         """Zero-pad the last two (spatial) axes of an NCHW tensor."""
@@ -478,7 +782,25 @@ class Tensor:
                 )
                 self._accumulate(grad[sl])
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            # Replays reuse the captured output array: the zero border
+            # never changes, so rewriting the interior reproduces
+            # np.pad's bytes without allocating or re-zeroing.
+            interior = tuple(
+                [slice(None)] * (self.ndim - 2)
+                + [
+                    slice(top, top + self.shape[-2]),
+                    slice(left, left + self.shape[-1]),
+                ]
+            )
+
+            def replay(a=self, o=out, buf=out_data, sl=interior):
+                buf[sl] = a.data
+                o.data = buf
+
+            _TAPE.append(("pad2d", replay))
+        return out
 
     # ------------------------------------------------------------------
     # Linear algebra
@@ -501,7 +823,14 @@ class Tensor:
                     g = np.swapaxes(self.data, -1, -2) @ grad
                     other._accumulate(_unbroadcast(g, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+
+            def replay(a=self, b=other, o=out):
+                o.data = a.data @ b.data
+
+            _TAPE.append(("matmul", replay))
+        return out
 
     __matmul__ = matmul
 
@@ -526,7 +855,14 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 sl[axis] = slice(start, stop)
                 t._accumulate(grad[tuple(sl)])
 
-    return Tensor._make(out_data, tensors, backward)
+    out = Tensor._make(out_data, tensors, backward)
+    if _TAPE is not None:
+
+        def replay(ts=tuple(tensors), o=out):
+            o.data = np.concatenate([t.data for t in ts], axis=axis)
+
+        _TAPE.append(("concatenate", replay))
+    return out
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -540,4 +876,11 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if t.requires_grad:
                 t._accumulate(g)
 
-    return Tensor._make(out_data, tensors, backward)
+    out = Tensor._make(out_data, tensors, backward)
+    if _TAPE is not None:
+
+        def replay(ts=tuple(tensors), o=out):
+            o.data = np.stack([t.data for t in ts], axis=axis)
+
+        _TAPE.append(("stack", replay))
+    return out

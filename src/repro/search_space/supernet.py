@@ -231,13 +231,22 @@ class Supernet(nn.Module):
         """
         names = self.submodel_parameter_names(mask)
         # Buffers are *replaced* (not mutated) by BN aggregation and
-        # load_state_dict, so the name → array map is rebuilt per call;
-        # only the name list and edge-reference parses are cached.
+        # load_state_dict, so the name → array map is rebuilt per call.
+        # The module-tree *walk* is cached, though: the tree is fixed
+        # after construction and Parameter objects are stable, so only
+        # ``.data`` / ``_buffers[...]`` reads happen per call.
+        rows = self.__dict__.get("_live_rows")
+        if rows is None:
+            rows = self.__dict__["_live_rows"] = (
+                list(self.named_parameters()),
+                list(self._named_buffer_owners().items()),
+            )
+        params, buffer_owners = rows
         live: Dict[str, np.ndarray] = {
-            name: param.data for name, param in self.named_parameters()
+            name: param.data for name, param in params
         }
-        for name, buf in self.named_buffers():
-            live[name] = buf
+        for name, (module, local) in buffer_owners:
+            live[name] = module._buffers[local]
         return {name: live[name] for name in names}
 
     def submodel_parameter_names(self, mask: ArchitectureMask) -> List[str]:

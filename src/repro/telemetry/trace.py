@@ -96,6 +96,7 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
     hedge_totals = {"hedges": 0, "wins": 0, "duplicates": 0}
     population_rounds: List[Dict] = []
     churn_totals = {"joined": 0, "departed": 0, "dropped_out": 0, "reactivated": 0}
+    tape_totals = {"captured": 0, "replayed": 0, "fallbacks": 0, "cached_steps": 0}
 
     for event in events:
         name = event.get("event", "?")
@@ -146,6 +147,15 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
                 entry = op_totals.setdefault((str(op), str(shape)), [0, 0.0])
                 entry[0] += int(count)
                 entry[1] += float(total)
+            tape_meta = event.get("tape")
+            if isinstance(tape_meta, dict):
+                tape_totals["captured"] += int(tape_meta.get("captured", 0))
+                tape_totals["replayed"] += int(tape_meta.get("replayed", 0))
+                tape_totals["fallbacks"] += int(tape_meta.get("fallback", 0))
+                tape_totals["cached_steps"] = max(
+                    tape_totals["cached_steps"],
+                    int(tape_meta.get("cached_steps", 0)),
+                )
         elif name == "round_end":
             if (
                 open_round
@@ -353,6 +363,17 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
             "churn": dict(churn_totals),
         }
 
+    tape = None
+    tape_tasks = (
+        tape_totals["captured"]
+        + tape_totals["replayed"]
+        + tape_totals["fallbacks"]
+    )
+    if tape_tasks:
+        tape = dict(tape_totals)
+        tape["tasks"] = tape_tasks
+        tape["hit_rate"] = tape_totals["replayed"] / tape_tasks
+
     ops = None
     if op_totals:
         ops = [
@@ -378,6 +399,7 @@ def summarize_trace(events: Sequence[Dict]) -> Dict:
         "population": population,
         "critical_path": critical_path,
         "ops": ops,
+        "tape": tape,
         "event_counts": dict(sorted(event_counts.items())),
     }
 
@@ -704,8 +726,9 @@ def render_trace(summary: Dict, top: int = 5, max_round_rows: int = 20) -> str:
                 f"... ({len(critical['rounds']) - len(shown)} more rounds)"
             )
 
-    ops = summary.get("ops")
-    if ops:
+    ops = summary.get("ops") or []
+    forward_ops = [o for o in ops if not str(o["op"]).startswith("tape:")]
+    if forward_ops:
         lines.append("")
         lines.append(f"## Per-op forward profile (top {top} by total time)")
         lines.append(
@@ -713,11 +736,45 @@ def render_trace(summary: Dict, top: int = 5, max_round_rows: int = 20) -> str:
                 ["op", "shape", "count", "total_s"],
                 [
                     [o["op"], o["shape"], o["count"], o["total_s"]]
-                    for o in ops[:top]
+                    for o in forward_ops[:top]
                 ],
                 precision=4,
             )
         )
+
+    tape = summary.get("tape")
+    if tape:
+        lines.append("")
+        lines.append("## Tape (compiled compute engine)")
+        lines.append(
+            f"compiled tasks: {tape['tasks']}  "
+            f"captures: {tape['captured']}  "
+            f"replays: {tape['replayed']}  "
+            f"fallbacks: {tape['fallbacks']}  "
+            f"cached steps (max): {tape['cached_steps']}"
+        )
+        lines.append(f"tape hit-rate: {tape['hit_rate']:.1%}")
+        replay_ops = [o for o in ops if str(o["op"]).startswith("tape:")]
+        if replay_ops:
+            lines.append("")
+            lines.append(
+                f"### Per-op replay profile (top {top} by total time)"
+            )
+            lines.append(
+                markdown_table(
+                    ["op", "count", "total_s", "mean_ms"],
+                    [
+                        [
+                            o["op"][len("tape:"):],
+                            o["count"],
+                            o["total_s"],
+                            1e3 * o["total_s"] / max(o["count"], 1),
+                        ]
+                        for o in replay_ops[:top]
+                    ],
+                    precision=4,
+                )
+            )
 
     return "\n".join(lines)
 

@@ -33,7 +33,7 @@ class TestWindowExtraction:
         oh = (x.shape[2] - eh) // stride[0] + 1
         ow = (x.shape[3] - ew) // stride[1] + 1
         fast = F._extract_windows(x, kernel, stride, dilation, (oh, ow))
-        loop = F._extract_windows_loop(x, kernel, stride, dilation, (oh, ow))
+        loop = F._extract_windows_view(x, kernel, stride, dilation, (oh, ow))
         assert fast.shape == loop.shape == (2, 3, kh, kw, oh, ow)
         assert fast.dtype == loop.dtype
         np.testing.assert_array_equal(fast, loop)
@@ -42,7 +42,7 @@ class TestWindowExtraction:
     def test_float32_dtype_preserved(self):
         x = np.arange(48, dtype=np.float32).reshape(1, 1, 6, 8)
         fast = F._extract_windows(x, (2, 2), (2, 2), (1, 1), (3, 4))
-        loop = F._extract_windows_loop(x, (2, 2), (2, 2), (1, 1), (3, 4))
+        loop = F._extract_windows_view(x, (2, 2), (2, 2), (1, 1), (3, 4))
         assert fast.dtype == np.float32
         np.testing.assert_array_equal(fast, loop)
 

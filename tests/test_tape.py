@@ -1,0 +1,451 @@
+"""Compiled compute engine (ISSUE 10): tape capture/replay parity.
+
+The contract under test, in order of appearance:
+
+* ``Tensor._accumulate`` copy-on-write gradient borrowing — single-
+  consumer nodes borrow the incoming array without a copy, and every
+  mutation path materialises first (the aliasing regression);
+* the conv2d backward contraction fast paths — ``_conv_dx`` and the
+  cached dW executor — agree with the window-algebra reference
+  implementations across the kernel/stride/dilation/groups grid;
+* float64 tape replay is **bit-identical** to the eager path for a
+  sweep of sampled controller masks (gradients, buffers, reward,
+  simulated compute time), float32 and conv→BN→ReLU fusion are
+  tolerance-equal;
+* a mid-sequence input-shape change forces a re-capture (never a stale
+  replay), and a checkpoint→resume rebuilds the tape caches from
+  scratch — they are derived state and never serialized.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.checkpoint import restore_search_state, save_search_state
+from repro.controller import ArchitecturePolicy
+from repro.data import iid_partition, synth_cifar10
+from repro.federated import FederatedSearchServer, Participant, build_backend
+from repro.federated import compiled
+from repro.federated.participant import LocalStepTask, run_local_step
+from repro.nn import Tensor, tape
+from repro.nn.functional import (
+    _conv_dx,
+    _extract_windows,
+    _extract_windows_view,
+    _scatter_windows,
+)
+from repro.search_space import Supernet, SupernetConfig
+
+TINY = SupernetConfig(num_classes=10, init_channels=4, num_cells=2, steps=1)
+
+
+@pytest.fixture(autouse=True)
+def _tape_off_between_tests():
+    yield
+    tape.configure(enabled=False, compute_dtype="float64", fusion=False)
+    compiled.reset_cache()
+    tape.reset_stats()
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: Tensor._accumulate copy-on-write
+# ----------------------------------------------------------------------
+
+
+class TestAccumulateCopyOnWrite:
+    def test_first_arrival_borrows_without_copy(self):
+        t = Tensor(np.zeros(4), requires_grad=True)
+        g = np.arange(4.0)
+        t._accumulate(g)
+        assert t._grad is g  # borrowed, not copied
+        assert not t._grad_owned
+
+    def test_second_arrival_leaves_borrowed_array_untouched(self):
+        t = Tensor(np.zeros(4), requires_grad=True)
+        g1 = np.arange(4.0)
+        g1_snapshot = g1.copy()
+        t._accumulate(g1)
+        t._accumulate(np.ones(4))
+        np.testing.assert_array_equal(g1, g1_snapshot)
+        np.testing.assert_array_equal(t.grad, g1_snapshot + 1.0)
+        assert t._grad_owned
+
+    def test_own_grad_materialises_private_copy(self):
+        t = Tensor(np.zeros(4), requires_grad=True)
+        g = np.arange(4.0)
+        t._accumulate(g)
+        owned = t.own_grad()
+        assert owned is not g
+        owned += 10.0
+        np.testing.assert_array_equal(g, np.arange(4.0))
+
+    def test_non_contiguous_or_wrong_dtype_is_copied(self):
+        t = Tensor(np.zeros((2, 2)), requires_grad=True)
+        strided = np.arange(8.0).reshape(2, 4)[:, ::2]
+        t._accumulate(strided)
+        assert t._grad is not strided
+        assert t._grad.flags["C_CONTIGUOUS"]
+        t2 = Tensor(np.zeros(3), requires_grad=True)
+        f32 = np.ones(3, dtype=np.float32)
+        t2._accumulate(f32)
+        assert t2._grad is not f32
+        assert t2._grad.dtype == np.float64
+
+    def test_shared_upstream_aliasing_regression(self):
+        # a + b hands the SAME upstream array to both operands'
+        # _accumulate.  Neither side may mutate it in place, or the
+        # other operand's gradient silently changes with it.
+        a = Tensor(np.zeros(4), requires_grad=True)
+        b = Tensor(np.zeros(4), requires_grad=True)
+        (a + b).backward(np.arange(4.0))
+        assert a.grad is b.grad  # both borrowed the shared upstream
+        owned = a.own_grad()
+        owned[...] = -1.0
+        np.testing.assert_array_equal(b.grad, np.arange(4.0))
+
+    def test_preallocated_buffer_takes_priority(self):
+        t = Tensor(np.zeros(4), requires_grad=True)
+        buf = np.empty(4)
+        t._grad_buf = buf
+        g = np.arange(4.0)
+        t._accumulate(g)
+        assert t._grad is buf  # copied into the replay buffer
+        assert t._grad_owned
+        np.testing.assert_array_equal(buf, g)
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: conv backward contraction fast paths across the grid
+# ----------------------------------------------------------------------
+
+GRID = [
+    # (kernel, stride, padding, dilation, groups)
+    ((3, 3), (1, 1), (1, 1), (1, 1), 1),
+    ((3, 3), (2, 2), (1, 1), (1, 1), 1),
+    ((3, 3), (1, 1), (2, 2), (2, 2), 1),
+    ((5, 5), (1, 1), (2, 2), (1, 1), 1),
+    ((1, 1), (1, 1), (0, 0), (1, 1), 1),
+    ((1, 1), (2, 2), (0, 0), (1, 1), 1),
+    ((3, 3), (1, 1), (1, 1), (1, 1), 2),
+    ((3, 3), (2, 2), (1, 1), (1, 1), 4),
+    ((3, 1), (1, 2), (1, 0), (1, 1), 1),
+]
+
+
+@pytest.mark.parametrize("kernel,stride,padding,dilation,groups", GRID)
+class TestConvBackwardGrid:
+    def _setup(self, kernel, stride, padding, dilation, groups, seed=0):
+        rng = np.random.default_rng(seed)
+        n, c, h, w = 2, 4, 9, 9
+        oc = 8
+        x = rng.standard_normal((n, c, h, w))
+        weight = rng.standard_normal((oc, c // groups) + kernel)
+        ph, pw = padding
+        x_pad = np.pad(x, [(0, 0), (0, 0), (ph, ph), (pw, pw)])
+        oh = (x_pad.shape[2] - (dilation[0] * (kernel[0] - 1) + 1)) // stride[0] + 1
+        ow = (x_pad.shape[3] - (dilation[1] * (kernel[1] - 1) + 1)) // stride[1] + 1
+        grad = rng.standard_normal((n, oc, oh, ow))
+        return x, x_pad, weight, grad, (oh, ow)
+
+    def test_extract_windows_matches_view_reference(
+        self, kernel, stride, padding, dilation, groups
+    ):
+        _, x_pad, _, _, out_hw = self._setup(
+            kernel, stride, padding, dilation, groups
+        )
+        fast = _extract_windows(x_pad, kernel, stride, dilation, out_hw)
+        ref = _extract_windows_view(x_pad, kernel, stride, dilation, out_hw)
+        np.testing.assert_array_equal(np.asarray(fast), ref)
+
+    def test_conv_dx_matches_scatter_reference(
+        self, kernel, stride, padding, dilation, groups
+    ):
+        _, x_pad, weight, grad, out_hw = self._setup(
+            kernel, stride, padding, dilation, groups
+        )
+        n, oc = grad.shape[:2]
+        oh, ow = out_hw
+        kh, kw = kernel
+        cg = weight.shape[1]
+        # Reference: per-window dX columns via the adjoint einsum, then
+        # window scatter-add — the formulation _conv_dx replaces with a
+        # single transposed-convolution GEMM.
+        w_r = weight.reshape(groups, oc // groups, cg * kh * kw)
+        grad_r = grad.reshape(n, groups, oc // groups, oh * ow)
+        gcols = np.einsum("gok,ngop->ngkp", w_r, grad_r)
+        gcols = gcols.reshape(n, groups * cg, kh, kw, oh, ow)
+        ref = _scatter_windows(gcols, x_pad.shape, kernel, stride, dilation)
+
+        got = _conv_dx(grad, weight, x_pad.shape, stride, dilation, groups)
+        np.testing.assert_allclose(np.asarray(got), ref, rtol=1e-12, atol=1e-12)
+
+    def test_conv_dx_buffer_reuse_is_stable(
+        self, kernel, stride, padding, dilation, groups
+    ):
+        _, x_pad, weight, grad, _ = self._setup(
+            kernel, stride, padding, dilation, groups
+        )
+        bufs: dict = {}
+        first = np.array(
+            _conv_dx(grad, weight, x_pad.shape, stride, dilation, groups, bufs=bufs)
+        )
+        # Second call with different data through the same scratch dict.
+        _, x_pad2, weight2, grad2, _ = self._setup(
+            kernel, stride, padding, dilation, groups, seed=1
+        )
+        _conv_dx(grad2, weight2, x_pad2.shape, stride, dilation, groups, bufs=bufs)
+        # Third call back with the original data must reproduce call one
+        # bit for bit — scratch reuse may never leak state.
+        again = np.asarray(
+            _conv_dx(grad, weight, x_pad.shape, stride, dilation, groups, bufs=bufs)
+        )
+        np.testing.assert_array_equal(first, again)
+
+    def test_conv2d_gradients_match_unfused_reference(
+        self, kernel, stride, padding, dilation, groups
+    ):
+        x, x_pad, weight, grad, out_hw = self._setup(
+            kernel, stride, padding, dilation, groups
+        )
+        xt = Tensor(x.copy(), requires_grad=True)
+        wt = Tensor(weight.copy(), requires_grad=True)
+        out = nn.functional.conv2d(
+            xt, wt, stride=stride, padding=padding, dilation=dilation, groups=groups
+        )
+        out.backward(grad)
+
+        n, oc = grad.shape[:2]
+        oh, ow = out_hw
+        kh, kw = kernel
+        cg = weight.shape[1]
+        cols = _extract_windows_view(x_pad, kernel, stride, dilation, (oh, ow))
+        cols_r = cols.reshape(n, groups, cg * kh * kw, oh * ow)
+        grad_r = grad.reshape(n, groups, oc // groups, oh * ow)
+        dw_ref = np.einsum("ngop,ngkp->gok", grad_r, cols_r).reshape(weight.shape)
+        np.testing.assert_allclose(wt.grad, dw_ref, rtol=1e-12, atol=1e-12)
+
+        gcols = np.einsum(
+            "gok,ngop->ngkp", weight.reshape(groups, oc // groups, cg * kh * kw), grad_r
+        ).reshape(n, groups * cg, kh, kw, oh, ow)
+        dx_pad_ref = _scatter_windows(gcols, x_pad.shape, kernel, stride, dilation)
+        ph, pw = padding
+        h, w = x.shape[2:]
+        dx_ref = dx_pad_ref[:, :, ph : ph + h, pw : pw + w]
+        np.testing.assert_allclose(xt.grad, dx_ref, rtol=1e-12, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: tape replay parity over sampled controller masks
+# ----------------------------------------------------------------------
+
+
+def _make_tasks(num_masks=5, repeats=2, batch_seed0=500):
+    """Tasks cycling over ``num_masks`` seeded masks, each seen
+    ``repeats`` times — first visit captures, later visits replay."""
+    net = Supernet(TINY, rng=np.random.default_rng(0))
+    policy = ArchitecturePolicy(TINY.num_edges, rng=np.random.default_rng(7))
+    masks = [policy.sample_mask() for _ in range(num_masks)]
+    return [
+        LocalStepTask(
+            participant_id=i % 2,
+            round_index=i,
+            mask=masks[i % num_masks],
+            state=net.submodel_state(masks[i % num_masks]),
+            batch_seed=batch_seed0 + i,
+        )
+        for i in range(num_masks * repeats)
+    ]
+
+
+def _run_all(tasks, dataset, enabled, compute_dtype="float64", fusion=False):
+    tape.configure(enabled=enabled, compute_dtype=compute_dtype, fusion=fusion)
+    compiled.reset_cache()
+    tape.reset_stats()
+    return [run_local_step(t, dataset, 8, TINY) for t in tasks]
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    train, _ = synth_cifar10(
+        seed=1, train_per_class=10, test_per_class=2, image_size=8
+    )
+    return train
+
+
+class TestTapeParity:
+    def test_float64_replay_bit_identical_to_eager(self, tiny_dataset):
+        tasks = _make_tasks()
+        eager = _run_all(tasks, tiny_dataset, enabled=False)
+        taped = _run_all(tasks, tiny_dataset, enabled=True)
+        stats = tape.stats().snapshot()
+        assert stats["captures"] == 5
+        assert stats["replays"] == 5
+        for ref, got in zip(eager, taped):
+            assert set(ref.gradients) == set(got.gradients)
+            for name in ref.gradients:
+                np.testing.assert_array_equal(
+                    ref.gradients[name], got.gradients[name], err_msg=name
+                )
+            assert set(ref.buffers) == set(got.buffers)
+            for name in ref.buffers:
+                np.testing.assert_array_equal(
+                    ref.buffers[name], got.buffers[name], err_msg=name
+                )
+            assert ref.reward == got.reward
+            assert ref.compute_time_s == got.compute_time_s
+            assert ref.num_samples == got.num_samples
+
+    @pytest.mark.parametrize(
+        "mode_kwargs,rtol,atol",
+        [
+            (dict(compute_dtype="float32"), 1e-4, 1e-6),
+            (dict(fusion=True), 1e-9, 1e-12),
+        ],
+        ids=["float32", "fusion"],
+    )
+    def test_lossy_modes_tolerance_equal(self, tiny_dataset, mode_kwargs, rtol, atol):
+        tasks = _make_tasks()
+        eager = _run_all(tasks, tiny_dataset, enabled=False)
+        got_all = _run_all(tasks, tiny_dataset, enabled=True, **mode_kwargs)
+        for ref, got in zip(eager, got_all):
+            for name in ref.gradients:
+                np.testing.assert_allclose(
+                    ref.gradients[name],
+                    got.gradients[name],
+                    rtol=rtol,
+                    atol=atol,
+                    err_msg=name,
+                )
+            for name in ref.buffers:
+                np.testing.assert_allclose(
+                    ref.buffers[name], got.buffers[name], rtol=rtol, atol=atol
+                )
+
+    def test_float32_returns_float64_wire_dtypes(self, tiny_dataset):
+        tasks = _make_tasks(num_masks=1, repeats=2)
+        got = _run_all(tasks, tiny_dataset, enabled=True, compute_dtype="float32")
+        for update in got:
+            for g in update.gradients.values():
+                assert g.dtype == np.float64
+            for b in update.buffers.values():
+                assert b.dtype == np.float64
+
+    def test_shape_change_forces_recapture(self, tiny_dataset):
+        tape.configure(enabled=True)
+        compiled.reset_cache()
+        tape.reset_stats()
+        tasks = _make_tasks(num_masks=1, repeats=2)
+        for t in tasks:
+            run_local_step(t, tiny_dataset, 8, TINY)
+        assert tape.stats().snapshot() == {
+            "captures": 1,
+            "replays": 1,
+            "fallbacks": 0,
+        }
+        # Same mask, different batch size -> different input shape ->
+        # a fresh capture keyed separately, never a stale replay.
+        small = run_local_step(tasks[0], tiny_dataset, 4, TINY)
+        assert tape.stats().snapshot()["captures"] == 2
+        assert small.num_samples == 4
+        tape.configure(enabled=False)
+        eager_small = run_local_step(tasks[0], tiny_dataset, 4, TINY)
+        for name in eager_small.gradients:
+            np.testing.assert_array_equal(
+                small.gradients[name], eager_small.gradients[name]
+            )
+
+    def test_off_by_default(self):
+        assert not tape.enabled()
+        assert tape.compute_dtype() == np.float64
+
+
+# ----------------------------------------------------------------------
+# Checkpoint -> resume: caches are derived state, rebuilt from scratch
+# ----------------------------------------------------------------------
+
+
+def _make_server(seed=0):
+    train, _ = synth_cifar10(
+        seed=1, train_per_class=10, test_per_class=2, image_size=8
+    )
+    shards = iid_partition(train, 3, rng=np.random.default_rng(0))
+    supernet = Supernet(TINY, rng=np.random.default_rng(seed + 1))
+    policy = ArchitecturePolicy(TINY.num_edges, rng=np.random.default_rng(seed + 2))
+    participants = [
+        Participant(k, s, batch_size=8, rng=np.random.default_rng(seed + 10 + k))
+        for k, s in enumerate(shards)
+    ]
+    backend = build_backend("serial", participants, TINY)
+    return FederatedSearchServer(
+        supernet, policy, participants, rng=np.random.default_rng(seed + 4),
+        backend=backend,
+    )
+
+
+class TestTapeCheckpointResume:
+    def test_resume_rebuilds_cache_and_matches_uninterrupted(self, tmp_path):
+        tape.configure(enabled=True)
+
+        compiled.reset_cache()
+        uninterrupted = _make_server()
+        try:
+            uninterrupted.run(4)
+        finally:
+            uninterrupted.backend.close()
+
+        compiled.reset_cache()
+        first = _make_server()
+        try:
+            first.run(2)
+            path = tmp_path / "mid.ckpt"
+            save_search_state(first, path)
+        finally:
+            first.backend.close()
+
+        # Fresh process stand-in: compiled models and tapes are gone.
+        compiled.reset_cache()
+        tape.reset_stats()
+        second = _make_server()
+        try:
+            restore_search_state(second, path)
+            second.run(2)
+        finally:
+            second.backend.close()
+
+        # The resumed half re-captured from scratch (caches were never
+        # serialized) yet the trajectory is bit-identical.
+        assert tape.stats().snapshot()["captures"] > 0
+        np.testing.assert_array_equal(
+            second.policy.alpha, uninterrupted.policy.alpha
+        )
+        for (name, p_a), (_, p_b) in zip(
+            uninterrupted.supernet.named_parameters(),
+            second.supernet.named_parameters(),
+        ):
+            np.testing.assert_array_equal(p_a.data, p_b.data, err_msg=name)
+
+    def test_tape_on_off_search_bit_identical(self):
+        eager_server = _make_server()
+        tape.configure(enabled=False)
+        compiled.reset_cache()
+        try:
+            eager_server.run(4)
+        finally:
+            eager_server.backend.close()
+
+        taped_server = _make_server()
+        tape.configure(enabled=True)
+        compiled.reset_cache()
+        try:
+            taped_server.run(4)
+        finally:
+            taped_server.backend.close()
+
+        np.testing.assert_array_equal(
+            eager_server.policy.alpha, taped_server.policy.alpha
+        )
+        for (name, p_a), (_, p_b) in zip(
+            eager_server.supernet.named_parameters(),
+            taped_server.supernet.named_parameters(),
+        ):
+            np.testing.assert_array_equal(p_a.data, p_b.data, err_msg=name)
